@@ -1,0 +1,545 @@
+// Package repro's benchmark harness: one benchmark per table and figure of
+// the paper (regenerating the experiment end to end), per-phase pipeline
+// benchmarks for the Section-7.1 analysis, and the ablations called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/experiments"
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/nlp/depparse"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/pos"
+	"repro/internal/nlp/token"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/tagger"
+)
+
+// benchScale keeps the experiment benchmarks fast enough to iterate on
+// while preserving every qualitative shape.
+const benchScale = 0.4
+
+var benchWorld *experiments.World
+
+func world(b *testing.B) *experiments.World {
+	b.Helper()
+	if benchWorld == nil {
+		benchWorld = experiments.BuildEvalWorld(experiments.WorldConfig{Seed: 1, Scale: benchScale})
+	}
+	return benchWorld
+}
+
+// --- One benchmark per table/figure -----------------------------------------
+
+func BenchmarkTable1Extractions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) < 4 {
+			b.Fatalf("table1 rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable3Methods(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(w)
+		if len(res.Rows) != 4 {
+			b.Fatal("table3 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable4PatternVersions(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(w, int64(40*benchScale))
+		if len(rows) != 4 {
+			b.Fatal("table4 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable5RandomSample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table5(experiments.Table5Config{
+			Seed: 1, Combos: 40, EntitiesPerType: 40, Rho: 25,
+		})
+		if len(res.Rows) != 4 {
+			b.Fatal("table5 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3BigCities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(experiments.WorldConfig{Seed: 1, Scale: benchScale, Rho: 20})
+		if len(r.Rows) != 461 {
+			b.Fatal("fig3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6Distributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6()
+		if r.Example1Posterior <= 0.5 {
+			b.Fatal("fig6 posterior wrong")
+		}
+	}
+}
+
+func BenchmarkFig9ExtractionStats(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(w, int64(40*benchScale))
+		if len(r.StatementsPerEntity) == 0 {
+			b.Fatal("fig9 empty")
+		}
+	}
+}
+
+func BenchmarkFig10CuteAnimals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Fig10(1); len(rows) != 20 {
+			b.Fatal("fig10 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig11AgreementHistogram(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(w)
+		if len(r.Cases) == 0 {
+			b.Fatal("fig11 empty")
+		}
+	}
+}
+
+func BenchmarkFig12AgreementSweep(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(w)
+		if len(r.Points) == 0 {
+			b.Fatal("fig12 empty")
+		}
+	}
+}
+
+func BenchmarkFig13AttributeCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Fig13(experiments.WorldConfig{Seed: 1, Scale: benchScale, Rho: 10})
+		if len(rs) != 3 {
+			b.Fatal("fig13 incomplete")
+		}
+	}
+}
+
+// --- Section 7.1: pipeline phases -------------------------------------------
+
+// BenchmarkPipelinePhases measures the end-to-end pipeline (extraction,
+// grouping, EM) on a fresh snapshot per iteration batch.
+func BenchmarkPipelinePhases(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 2, Scale: benchScale}).Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := pipeline.Run(snap.Documents, base, lex, pipeline.Config{Rho: int64(40 * benchScale)})
+		if res.TotalStatements == 0 {
+			b.Fatal("no statements")
+		}
+	}
+	b.ReportMetric(float64(len(snap.Documents)), "docs/run")
+}
+
+// BenchmarkExtractionThroughput isolates the NLP front end: sentences per
+// second through tokenize/tag/parse/link/extract.
+func BenchmarkExtractionThroughput(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 3, Scale: 0.2}).Generate()
+	pt := pos.New(lex)
+	dp := depparse.New(lex)
+	et := tagger.New(base, lex)
+	ex := extract.NewVersion(lex, extract.V4)
+
+	var sents []token.Sentence
+	for _, d := range snap.Documents {
+		sents = append(sents, token.SplitSentences(d.Text)...)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s := sents[i%len(sents)]
+		tagged := pt.Tag(s)
+		mentions := et.Tag(tagged)
+		tree := dp.Parse(tagged)
+		n += len(ex.Extract(tree, mentions))
+	}
+	if b.N > 1000 && n == 0 {
+		b.Fatal("no extractions at all")
+	}
+}
+
+// BenchmarkEMScaling verifies the Section-6 claim: EM cost is linear in
+// the number of entities and independent of the number of mentions.
+func BenchmarkEMScaling(b *testing.B) {
+	params := core.Params{PA: 0.9, NpPlus: 40, NpMinus: 3}
+	for _, m := range []int{100, 1000, 10000} {
+		rng := stats.NewRNG(uint64(m))
+		opinions := make([]bool, m)
+		for i := range opinions {
+			opinions[i] = rng.Bernoulli(0.3)
+		}
+		tuples := core.GenerateTuples(params, opinions, rng)
+		b.Run(sizeName("entities", m), func(b *testing.B) {
+			cfg := core.DefaultEMConfig()
+			cfg.MaxIterations = 10
+			cfg.Tolerance = 0
+			for i := 0; i < b.N; i++ {
+				core.FitEM(tuples, cfg)
+			}
+		})
+	}
+	// Mention-count independence: multiply every count by 1000.
+	rng := stats.NewRNG(99)
+	opinions := make([]bool, 1000)
+	for i := range opinions {
+		opinions[i] = rng.Bernoulli(0.3)
+	}
+	tuples := core.GenerateTuples(params, opinions, rng)
+	big := make([]core.Tuple, len(tuples))
+	for i, c := range tuples {
+		big[i] = core.Tuple{Pos: c.Pos * 1000, Neg: c.Neg * 1000}
+	}
+	b.Run("entities-1000-mentions-x1000", func(b *testing.B) {
+		cfg := core.DefaultEMConfig()
+		cfg.MaxIterations = 10
+		cfg.Tolerance = 0
+		for i := 0; i < b.N; i++ {
+			core.FitEM(big, cfg)
+		}
+	})
+}
+
+func sizeName(unit string, n int) string {
+	switch {
+	case n >= 1000:
+		return unit + "-" + itoa(n/1000) + "k"
+	default:
+		return unit + "-" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Ablations (DESIGN.md) ---------------------------------------------------
+
+// BenchmarkAblationPoissonVsMultinomial compares the Poisson-product
+// posterior against the exact trinomial.
+func BenchmarkAblationPoissonVsMultinomial(b *testing.B) {
+	m := core.Model{Params: core.Params{PA: 0.9, NpPlus: 100, NpMinus: 5}}
+	tuples := []core.Tuple{
+		{Pos: 0, Neg: 0}, {Pos: 60, Neg: 3}, {Pos: 10, Neg: 10},
+		{Pos: 90, Neg: 1}, {Pos: 5, Neg: 5},
+	}
+	b.Run("poisson", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range tuples {
+				m.PosteriorPositive(c)
+			}
+		}
+	})
+	b.Run("exact-trinomial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range tuples {
+				m.PosteriorPositiveExact(c, 1_000_000)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGlobalParams contrasts per-(type,property) models (the
+// paper's choice) against a single global model fitted across all groups.
+// The metric of interest is the reported accuracy delta, not time.
+func BenchmarkAblationGlobalParams(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perGroup, global := perGroupVsGlobalAccuracy(w)
+		b.ReportMetric(perGroup, "acc-per-group")
+		b.ReportMetric(global, "acc-global")
+		if perGroup <= global {
+			b.Logf("warning: per-group (%v) did not beat global (%v) this run", perGroup, global)
+		}
+	}
+}
+
+func perGroupVsGlobalAccuracy(w *experiments.World) (perGroup, global float64) {
+	// Collect all tuples with their latent truths.
+	var all []core.Tuple
+	var truths []bool
+	var groupOf []int
+	for gi := range w.Result.Groups {
+		g := &w.Result.Groups[gi]
+		spec, ok := w.Snapshot.SpecFor(g.Key.Type, g.Key.Property)
+		if !ok {
+			continue
+		}
+		for _, eo := range g.Entities {
+			all = append(all, core.Tuple{Pos: int(eo.Pos), Neg: int(eo.Neg)})
+			truths = append(truths, spec.LatentTruth(w.KB.Get(eo.Entity), "com"))
+			groupOf = append(groupOf, gi)
+		}
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	// Global: one model for everything.
+	gm, _ := core.FitEM(all, core.DefaultEMConfig())
+	correctG := 0
+	for i, c := range all {
+		if (core.Decide(gm.PosteriorPositive(c)) == core.OpinionPositive) == truths[i] {
+			correctG++
+		}
+	}
+	// Per-group: the pipeline's own fitted models.
+	correctP := 0
+	for i, c := range all {
+		g := &w.Result.Groups[groupOf[i]]
+		if (core.Decide(g.Model.PosteriorPositive(c)) == core.OpinionPositive) == truths[i] {
+			correctP++
+		}
+	}
+	n := float64(len(all))
+	return float64(correctP) / n, float64(correctG) / n
+}
+
+// BenchmarkAblationPAGrid measures EM quality/cost against the pA grid
+// resolution.
+func BenchmarkAblationPAGrid(b *testing.B) {
+	rng := stats.NewRNG(7)
+	opinions := make([]bool, 2000)
+	for i := range opinions {
+		opinions[i] = rng.Bernoulli(0.3)
+	}
+	tuples := core.GenerateTuples(core.Params{PA: 0.88, NpPlus: 40, NpMinus: 3}, opinions, rng)
+	grids := map[string][]float64{
+		"grid-3":  {0.6, 0.8, 0.95},
+		"grid-16": core.DefaultPAGrid(),
+		"grid-45": denseGrid(),
+	}
+	for name, grid := range grids {
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultEMConfig()
+			cfg.PAGrid = grid
+			var ll float64
+			for i := 0; i < b.N; i++ {
+				m, _ := core.FitEM(tuples, cfg)
+				ll = m.LogLikelihood(tuples)
+			}
+			b.ReportMetric(ll/float64(len(tuples)), "loglik/entity")
+		})
+	}
+}
+
+func denseGrid() []float64 {
+	var g []float64
+	for pa := 0.51; pa < 0.999; pa += 0.011 {
+		g = append(g, pa)
+	}
+	return g
+}
+
+// BenchmarkAblationChecksOnOff measures the intrinsicness filter's cost
+// and volume effect (the Table-4 delta at the extractor level).
+func BenchmarkAblationChecksOnOff(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 5, Scale: 0.2}).Generate()
+	pt := pos.New(lex)
+	dp := depparse.New(lex)
+	et := tagger.New(base, lex)
+
+	type prepared struct {
+		tagged   []pos.Tagged
+		tree     *depparse.Tree
+		mentions []tagger.Mention
+	}
+	var prep []prepared
+	for _, d := range snap.Documents {
+		for _, s := range token.SplitSentences(d.Text) {
+			tagged := pt.Tag(s)
+			prep = append(prep, prepared{tagged, dp.Parse(tagged), et.Tag(tagged)})
+		}
+	}
+	for name, cfg := range map[string]extract.Config{
+		"checks-on":  extract.VersionConfig(extract.V4),
+		"checks-off": {UseAmod: true, UseAcomp: true, ToBeOnly: true},
+	} {
+		ex := extract.New(lex, cfg)
+		b.Run(name, func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				p := prep[i%len(prep)]
+				n += len(ex.Extract(p.tree, p.mentions))
+			}
+			b.ReportMetric(float64(n)/float64(b.N), "stmts/sentence")
+		})
+	}
+}
+
+// BenchmarkAblationZeroEvidence quantifies the coverage value of
+// classifying zero-evidence entities (Figure 3d vs 3c).
+func BenchmarkAblationZeroEvidence(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, zero := 0, 0
+		for gi := range w.Result.Groups {
+			for _, eo := range w.Result.Groups[gi].Entities {
+				total++
+				if eo.Pos == 0 && eo.Neg == 0 && eo.Opinion != core.OpinionUnsolved {
+					zero++
+				}
+			}
+		}
+		b.ReportMetric(float64(zero)/float64(total), "zero-evidence-share")
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---------------------------------------
+
+func BenchmarkTokenize(b *testing.B) {
+	text := "I don't think that San Francisco is a big city, but everyone agrees that it is beautiful."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		token.Tokenize(text)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	lex := lexicon.Default()
+	pt := pos.New(lex)
+	dp := depparse.New(lex)
+	sent := token.SplitSentences("I don't think that snakes are never dangerous animals.")[0]
+	tagged := pt.Tag(sent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp.Parse(tagged)
+	}
+}
+
+func BenchmarkPosterior(b *testing.B) {
+	m := core.Model{Params: core.Params{PA: 0.9, NpPlus: 100, NpMinus: 5}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PosteriorPositive(core.Tuple{Pos: i % 100, Neg: i % 7})
+	}
+}
+
+func BenchmarkEvidenceStoreAdd(b *testing.B) {
+	s := evidence.NewStore()
+	st := extract.Statement{Entity: 42, Property: "cute", Polarity: extract.Positive}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Entity = kb.EntityID(i % 1000)
+		s.Add(st)
+	}
+}
+
+// BenchmarkAnnotationLayer measures the annotate-once architecture: the
+// cost of annotation vs the cost of one extraction pass over annotations.
+func BenchmarkAnnotationLayer(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 4, Scale: 0.2}).Generate()
+	b.Run("annotate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipeline.Annotate(snap.Documents, base, lex, 0)
+		}
+	})
+	annotated := pipeline.Annotate(snap.Documents, base, lex, 0)
+	b.Run("extract-from-annotations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipeline.RunAnnotated(annotated, base, lex, pipeline.Config{Rho: 10})
+		}
+	})
+}
+
+// BenchmarkAblationAntonymFolding regenerates the Section-4 antonym
+// decision: F1 per interpretation mode.
+func BenchmarkAblationAntonymFolding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AntonymAblation(
+			experiments.WorldConfig{Seed: 1, Scale: benchScale}, 0.35)
+		slugs := map[experiments.AntonymMode]string{
+			experiments.AntonymIgnore: "F1-ignore",
+			experiments.AntonymStrict: "F1-fold-strict",
+			experiments.AntonymNaive:  "F1-fold-naive",
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.F1, slugs[r.Mode])
+		}
+	}
+}
+
+// BenchmarkFutureWorkBounds regenerates the Section-9 outlook experiment.
+func BenchmarkFutureWorkBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FutureWork(experiments.WorldConfig{Seed: 1, Scale: benchScale, Rho: 20})
+		if len(rows) != 3 {
+			b.Fatal("futurework incomplete")
+		}
+	}
+}
+
+// BenchmarkQueryEngine measures subjective-query answering over a mined
+// result.
+func BenchmarkQueryEngine(b *testing.B) {
+	w := world(b)
+	eng := query.NewEngine(w.KB, w.Lex, w.Result)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run("dangerous animals"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command experiments regenerates every table and figure of the paper
+// "Mining Subjective Properties on the Web" (SIGMOD 2015) on the synthetic
+// web snapshot.
+//
+// Usage:
+//
+//	experiments [flags] [experiment...]
+//
+// Experiments: table1 table3 table4 table5 fig3 fig6 fig9 fig10 fig11
+// fig12 fig13 scale antonyms futurework all (default: all).
+//
+// Flags:
+//
+//	-seed N    deterministic seed (default 1)
+//	-scale F   corpus volume multiplier (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	scale := flag.Float64("scale", 1, "corpus volume multiplier")
+	flag.Parse()
+
+	known := map[string]bool{
+		"all": true, "table1": true, "table3": true, "table4": true,
+		"table5": true, "fig3": true, "fig6": true, "fig9": true,
+		"fig10": true, "fig11": true, "fig12": true, "fig13": true,
+		"scale": true, "antonyms": true, "futurework": true,
+	}
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, w := range wanted {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: table1 table3 table4 table5 fig3 fig6 fig9 fig10 fig11 fig12 fig13 scale antonyms futurework all\n", w)
+			os.Exit(2)
+		}
+		want[w] = true
+	}
+	on := func(name string) bool { return want["all"] || want[name] }
+
+	cfg := experiments.WorldConfig{Seed: *seed, Scale: *scale}
+
+	// The Section-7 experiments share one world; build it lazily.
+	var world *experiments.World
+	getWorld := func() *experiments.World {
+		if world == nil {
+			fmt.Fprintf(os.Stderr, "building evaluation world (seed=%d scale=%g)...\n", *seed, *scale)
+			world = experiments.BuildEvalWorld(cfg)
+		}
+		return world
+	}
+
+	if on("table1") {
+		section("Table 1 — example extractions")
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	}
+	if on("fig6") {
+		section("Figure 6 — count distributions under Example-3 parameters")
+		fmt.Print(experiments.Fig6().Format())
+	}
+	if on("fig3") {
+		section("Figure 3 — big Californian cities: majority vote vs model")
+		fmt.Print(experiments.Fig3(cfg).Format())
+	}
+	if on("fig13") {
+		section("Figure 13 — wealthy countries, big lakes, high mountains")
+		for _, r := range experiments.Fig13(cfg) {
+			fmt.Print(r.Format())
+			fmt.Println()
+		}
+	}
+	if on("scale") {
+		section("Section 7.1 — pipeline scale statistics")
+		fmt.Print(experiments.Scale(getWorld()).Format())
+	}
+	if on("fig9") {
+		section("Figure 9 — extraction statistics percentiles")
+		fmt.Print(experiments.Fig9(getWorld(), int64(40**scale)).Format())
+	}
+	if on("fig10") {
+		section("Figure 10 — cute animals: paper AMT votes vs simulated panel")
+		fmt.Print(experiments.FormatFig10(experiments.Fig10(*seed)))
+	}
+	if on("fig11") {
+		section("Figure 11 — worker agreement distribution")
+		fmt.Print(experiments.Fig11(getWorld()).Format())
+	}
+	if on("table3") {
+		section("Table 3 — method comparison on 500 curated test cases")
+		fmt.Print(experiments.Table3(getWorld()).Format())
+	}
+	if on("fig12") {
+		section("Figure 12 — precision/coverage vs worker agreement")
+		fmt.Print(experiments.Fig12(getWorld()).Format())
+	}
+	if on("table4") {
+		section("Table 4 — extraction pattern versions (Appendix B)")
+		fmt.Print(experiments.FormatTable4(experiments.Table4(getWorld(), int64(40**scale))))
+	}
+	if on("table5") {
+		section("Table 5 — random-sample comparison (Appendix D)")
+		t5 := experiments.Table5Config{Seed: *seed, Scale: *scale}
+		fmt.Print(experiments.Table5(t5).Format())
+	}
+	if on("antonyms") {
+		section("Section 4 ablation — antonym folding vs ignoring")
+		fmt.Print(experiments.FormatAntonymAblation(experiments.AntonymAblation(cfg, 0.35)))
+	}
+	if on("futurework") {
+		section("Section 9 outlook — learned subjective-to-objective bounds")
+		fmt.Print(experiments.FormatFutureWork(experiments.FutureWork(cfg)))
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

@@ -1,0 +1,96 @@
+// Command surveyor runs the full Surveyor pipeline over a document corpus
+// (JSON lines, as produced by corpusgen or any compatible source) against
+// the built-in knowledge base and prints the mined opinions.
+//
+// Usage:
+//
+//	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
+//
+// With no -in, a demonstration corpus is generated on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/surveyor"
+)
+
+func main() {
+	rho := flag.Int64("rho", 100, "minimum statements per (type, property) pair")
+	queryStr := flag.String("query", "", "answer a subjective query (e.g. 'big cities') instead of dumping groups")
+	version := flag.Int("version", 4, "extraction pattern version 1-4")
+	workers := flag.Int("workers", 0, "extraction parallelism (0 = all cores)")
+	top := flag.Int("top", 10, "entities to print per modelled group")
+	in := flag.String("in", "", "input corpus (JSON lines); empty generates a demo snapshot")
+	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
+	flag.Parse()
+
+	sys := surveyor.NewSystemWithBuiltinKB(*seed)
+
+	var docs []surveyor.Document
+	if *in == "" {
+		base := kb.Default(*seed)
+		snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+			corpus.Config{Seed: *seed, Scale: 1}).Generate()
+		for _, d := range snap.Documents {
+			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
+		}
+		fmt.Fprintf(os.Stderr, "generated demo snapshot: %d documents\n", len(docs))
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		loaded, err := corpus.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, d := range loaded {
+			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
+		}
+	}
+
+	res := sys.Mine(docs, surveyor.Config{
+		Rho:            *rho,
+		PatternVersion: *version,
+		Workers:        *workers,
+	})
+	fmt.Fprintln(os.Stderr, res.Stats().String())
+
+	if *queryStr != "" {
+		answers, err := res.Query(*queryStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, a := range answers {
+			fmt.Printf("%s %-24s p=%.3f (+%d/-%d)\n", "+", a.Entity, a.Probability, a.Pos, a.Neg)
+		}
+		return
+	}
+
+	for _, g := range res.Groups() {
+		fmt.Printf("\n%s %s  (pA=%.2f np+S=%.1f np-S=%.1f)\n",
+			g.Property, g.Type, g.PA, g.NpPlus, g.NpMinus)
+		ents := append([]surveyor.EntityOpinion(nil), g.Entities...)
+		sort.Slice(ents, func(a, b int) bool {
+			return ents[a].Probability > ents[b].Probability
+		})
+		k := *top
+		if k > len(ents) {
+			k = len(ents)
+		}
+		for _, eo := range ents[:k] {
+			fmt.Printf("  %s %-24s p=%.3f  (+%d/-%d)\n",
+				eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
+		}
+	}
+}

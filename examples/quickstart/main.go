@@ -1,0 +1,65 @@
+// Quickstart: mine subjective properties from a handful of sentences.
+//
+// This is the smallest end-to-end use of the public API: register
+// entities, feed raw text, read back dominant opinions. It also shows the
+// low-level model API working directly on statement counts — including the
+// zero-evidence inference that lets Surveyor classify entities nobody ever
+// wrote about.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/surveyor"
+)
+
+func main() {
+	sys := surveyor.NewSystem()
+	for _, animal := range []string{"kitten", "puppy", "spider", "scorpion", "hamster"} {
+		sys.AddEntity(animal, "animal", false, nil)
+	}
+
+	docs := []surveyor.Document{
+		{Text: "Kittens are cute. I think that puppies are cute animals."},
+		{Text: "Everyone agrees that kittens are cute. Hamsters are cute."},
+		{Text: "Spiders are not cute. I don't think that scorpions are cute."},
+		{Text: "The kitten is really cute. Puppies are cute and lovely."},
+		{Text: "Spiders aren't cute. Scorpions are never cute."},
+		{Text: "I don't think that kittens are never cute."}, // double negation = positive
+	}
+
+	res := sys.Mine(docs, surveyor.Config{Rho: 1})
+	fmt.Println("run:", res.Stats())
+	fmt.Println()
+
+	fmt.Println("Dominant opinions for property \"cute\":")
+	for _, animal := range []string{"kitten", "puppy", "hamster", "spider", "scorpion"} {
+		op, ok := res.Opinion(animal, "cute")
+		if !ok {
+			fmt.Printf("  %-10s (not classified)\n", animal)
+			continue
+		}
+		fmt.Printf("  %s %-10s Pr(cute)=%.3f  evidence +%d/-%d\n",
+			op.Opinion, animal, op.Probability, op.Pos, op.Neg)
+	}
+
+	// The low-level model API: counts in, opinions out — no text at all.
+	// Note the zero-count tuple at the end: the fitted model still decides
+	// it (an entity nobody mentions is probably not cute in a world where
+	// cute entities attract dozens of statements).
+	fmt.Println()
+	fmt.Println("Low-level model on raw counts:")
+	counts := []surveyor.Counts{
+		{Pos: 42, Neg: 1}, {Pos: 38, Neg: 2}, {Pos: 55, Neg: 0}, // cute cluster
+		{Pos: 3, Neg: 6}, {Pos: 1, Neg: 8}, {Pos: 0, Neg: 5}, // not-cute cluster
+		{Pos: 0, Neg: 0}, // never mentioned
+	}
+	model := surveyor.FitModel(counts)
+	fmt.Printf("  fitted: pA=%.2f np+S=%.1f np-S=%.1f\n", model.PA, model.NpPlus, model.NpMinus)
+	for _, c := range counts {
+		fmt.Printf("  (+%d,-%d) -> %s  (Pr=%.3f; majority vote says %s)\n",
+			c.Pos, c.Neg, model.Decide(c), model.ProbabilityPositive(c), surveyor.MajorityVote(c))
+	}
+}

@@ -1,0 +1,60 @@
+// Subjective search: the paper's motivating application — answering
+// subjective queries the way a search engine answers objective ones.
+//
+// The example mines the full evaluation snapshot and then answers query
+// strings like "dangerous animals", "very big cities", and
+// "not boring sports" from the opinion store, ranked by confidence.
+//
+// Run with: go run ./examples/subjective_search
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/surveyor"
+)
+
+func main() {
+	base := kb.Default(5)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 5, Scale: 1}).Generate()
+
+	sys := surveyor.NewSystemWithBuiltinKB(5)
+	docs := make([]surveyor.Document, len(snap.Documents))
+	for i, d := range snap.Documents {
+		docs[i] = surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
+	}
+	res := sys.Mine(docs, surveyor.Config{Rho: 40})
+	fmt.Println("run:", res.Stats())
+
+	queries := []string{
+		"dangerous animals",
+		"big cities",
+		"not boring sports",
+		"popular sports",
+		"cute animals",
+	}
+	for _, q := range queries {
+		fmt.Printf("\n? %s\n", q)
+		answers, err := res.Query(q)
+		if err != nil {
+			fmt.Println("  ", err)
+			continue
+		}
+		max := 6
+		if len(answers) < max {
+			max = len(answers)
+		}
+		for _, a := range answers[:max] {
+			fmt.Printf("   %-18s p=%.3f  (+%d/-%d statements)\n",
+				a.Entity, a.Probability, a.Pos, a.Neg)
+		}
+		if len(answers) > max {
+			fmt.Printf("   ... and %d more\n", len(answers)-max)
+		}
+	}
+
+	fmt.Println("\nqueryable properties for animals:", res.QueryableProperties("animal"))
+}

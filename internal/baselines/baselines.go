@@ -1,0 +1,151 @@
+// Package baselines implements the comparison methods of Section 7.4:
+// Majority Vote, Scaled Majority Vote, and a WebChild-style co-occurrence
+// comparator. All three share the core.Opinion output vocabulary so the
+// evaluation harness treats every method uniformly.
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/kb"
+)
+
+// Method is a count-interpreting decision procedure.
+type Method interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Decide maps one evidence tuple to an opinion. OpinionUnsolved means
+	// the method produces no output for the pair (a coverage loss).
+	Decide(pos, neg int64) core.Opinion
+}
+
+// MajorityVote decides by comparing raw counts; ties (including the very
+// common ⟨0,0⟩) are unsolved.
+type MajorityVote struct{}
+
+// Name implements Method.
+func (MajorityVote) Name() string { return "Majority Vote" }
+
+// Decide implements Method.
+func (MajorityVote) Decide(pos, neg int64) core.Opinion {
+	switch {
+	case pos > neg:
+		return core.OpinionPositive
+	case neg > pos:
+		return core.OpinionNegative
+	default:
+		return core.OpinionUnsolved
+	}
+}
+
+// ScaledMajorityVote multiplies the negative count by the global
+// positive-to-negative statement ratio before voting — the "gross
+// adjustment of the inherent bias against negative statements" of
+// Section 7.4. The scale is universal, NOT per (type, property); that is
+// exactly the limitation the paper attributes to it.
+type ScaledMajorityVote struct {
+	Scale float64 // global ratio (Σ pos) / (Σ neg)
+}
+
+// NewScaledMajorityVote computes the global scale from an evidence store.
+func NewScaledMajorityVote(s *evidence.Store) ScaledMajorityVote {
+	var pos, neg int64
+	for _, e := range s.Snapshot() {
+		pos += e.Pos
+		neg += e.Neg
+	}
+	return ScaledMajorityVoteFromTotals(pos, neg)
+}
+
+// ScaledMajorityVoteFromTotals builds the baseline from corpus-wide
+// statement totals.
+func ScaledMajorityVoteFromTotals(pos, neg int64) ScaledMajorityVote {
+	scale := 1.0
+	if neg > 0 {
+		scale = float64(pos) / float64(neg)
+	}
+	return ScaledMajorityVote{Scale: scale}
+}
+
+// Name implements Method.
+func (ScaledMajorityVote) Name() string { return "Scaled Majority Vote" }
+
+// Decide implements Method.
+func (v ScaledMajorityVote) Decide(pos, neg int64) core.Opinion {
+	scaled := float64(neg) * v.Scale
+	p := float64(pos)
+	switch {
+	case p > scaled:
+		return core.OpinionPositive
+	case scaled > p:
+		return core.OpinionNegative
+	default:
+		return core.OpinionUnsolved
+	}
+}
+
+// WebChild emulates the WebChild comparison of Section 7.4: a commonsense
+// knowledge base built from co-occurrence that does not model subjectivity
+// and does not detect negation. An (entity, property) pair is asserted
+// positive when the total co-occurrence count (positive AND negative
+// statements alike — negation-blind) is statistically significant; the
+// absence of an asserted property counts as a negative assertion. The only
+// coverage loss is an entity missing from the knowledge base entirely.
+type WebChild struct {
+	// contained marks entities present in the harvested KB.
+	contained map[kb.EntityID]bool
+	// asserted marks (entity, property) pairs the KB asserts.
+	asserted map[evidence.Key]bool
+	// MinCoOccurrence is the significance threshold.
+	MinCoOccurrence int64
+}
+
+// NewWebChild harvests a WebChild-style KB from the evidence store.
+// minCoOccurrence is the significance threshold for asserting a property
+// (the paper's comparator used co-occurrence statistics; 2 is our default
+// so that a single stray sentence does not assert).
+func NewWebChild(s *evidence.Store, minCoOccurrence int64) *WebChild {
+	w := &WebChild{
+		contained:       map[kb.EntityID]bool{},
+		asserted:        map[evidence.Key]bool{},
+		MinCoOccurrence: minCoOccurrence,
+	}
+	for _, e := range s.Snapshot() {
+		if e.Total() > 0 {
+			w.contained[e.Entity] = true
+		}
+		if e.Total() >= minCoOccurrence { // negation-blind: Pos+Neg
+			w.asserted[e.Key] = true
+		}
+	}
+	return w
+}
+
+// Name implements Method.
+func (*WebChild) Name() string { return "WebChild" }
+
+// DecideFor answers for a specific entity-property pair (WebChild needs
+// the identity, not just the counts).
+func (w *WebChild) DecideFor(ent kb.EntityID, property string) core.Opinion {
+	if !w.contained[ent] {
+		return core.OpinionUnsolved
+	}
+	if w.asserted[evidence.Key{Entity: ent, Property: property}] {
+		return core.OpinionPositive
+	}
+	return core.OpinionNegative
+}
+
+// Decide implements Method on bare counts: contained iff any statement
+// exists for the pair (an under-approximation of KB membership used only
+// when entity identity is unavailable).
+func (w *WebChild) Decide(pos, neg int64) core.Opinion {
+	total := pos + neg
+	if total == 0 {
+		return core.OpinionUnsolved
+	}
+	if total >= w.MinCoOccurrence {
+		return core.OpinionPositive
+	}
+	return core.OpinionNegative
+}

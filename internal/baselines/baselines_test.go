@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/kb"
+)
+
+func TestMajorityVote(t *testing.T) {
+	mv := MajorityVote{}
+	cases := []struct {
+		pos, neg int64
+		want     core.Opinion
+	}{
+		{5, 2, core.OpinionPositive},
+		{2, 5, core.OpinionNegative},
+		{3, 3, core.OpinionUnsolved},
+		{0, 0, core.OpinionUnsolved},
+		{1, 0, core.OpinionPositive},
+		{0, 1, core.OpinionNegative},
+	}
+	for _, c := range cases {
+		if got := mv.Decide(c.pos, c.neg); got != c.want {
+			t.Errorf("MV(%d,%d) = %v, want %v", c.pos, c.neg, got, c.want)
+		}
+	}
+	if mv.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestScaledMajorityVote(t *testing.T) {
+	// Global ratio 10:1 — ten positives are only worth one negative.
+	smv := ScaledMajorityVoteFromTotals(1000, 100)
+	if smv.Scale != 10 {
+		t.Fatalf("scale = %v", smv.Scale)
+	}
+	if got := smv.Decide(9, 1); got != core.OpinionNegative {
+		t.Errorf("SMV(9,1) = %v, want negative (scaled neg = 10)", got)
+	}
+	if got := smv.Decide(11, 1); got != core.OpinionPositive {
+		t.Errorf("SMV(11,1) = %v, want positive", got)
+	}
+	if got := smv.Decide(10, 1); got != core.OpinionUnsolved {
+		t.Errorf("SMV(10,1) = %v, want unsolved (exact tie)", got)
+	}
+	if got := smv.Decide(0, 0); got != core.OpinionUnsolved {
+		t.Errorf("SMV(0,0) = %v, want unsolved", got)
+	}
+}
+
+func TestScaledMajorityVoteBreaksRawTies(t *testing.T) {
+	// The paper: SMV "is able to improve on test cases where the number of
+	// negative statements is non-zero" — raw ties now break.
+	smv := ScaledMajorityVoteFromTotals(500, 100) // scale 5
+	if got := smv.Decide(3, 3); got != core.OpinionNegative {
+		t.Errorf("SMV(3,3) = %v, want negative under scale 5", got)
+	}
+}
+
+func TestScaledMajorityVoteNoNegatives(t *testing.T) {
+	smv := ScaledMajorityVoteFromTotals(100, 0)
+	if smv.Scale != 1 {
+		t.Fatalf("scale with zero negatives = %v, want 1", smv.Scale)
+	}
+}
+
+func TestNewScaledMajorityVoteFromStore(t *testing.T) {
+	s := evidence.NewStore()
+	s.AddCounts(evidence.Key{Entity: 0, Property: "big"}, evidence.Counts{Pos: 30, Neg: 10})
+	s.AddCounts(evidence.Key{Entity: 1, Property: "big"}, evidence.Counts{Pos: 10, Neg: 10})
+	smv := NewScaledMajorityVote(s)
+	if smv.Scale != 2 {
+		t.Fatalf("scale = %v, want 2", smv.Scale)
+	}
+}
+
+func TestWebChildAssertsFromCoOccurrence(t *testing.T) {
+	s := evidence.NewStore()
+	// kitten-cute co-occurs heavily (all positive).
+	s.AddCounts(evidence.Key{Entity: 1, Property: "cute"}, evidence.Counts{Pos: 50, Neg: 0})
+	// spider-cute co-occurs via NEGATIVE statements only — WebChild is
+	// negation-blind, so it asserts cuteness anyway (the false-positive
+	// failure mode the paper observed).
+	s.AddCounts(evidence.Key{Entity: 2, Property: "cute"}, evidence.Counts{Pos: 0, Neg: 40})
+	// tiger mentioned once for "big" only.
+	s.AddCounts(evidence.Key{Entity: 3, Property: "big"}, evidence.Counts{Pos: 1, Neg: 0})
+
+	w := NewWebChild(s, 2)
+	if got := w.DecideFor(1, "cute"); got != core.OpinionPositive {
+		t.Errorf("kitten cute = %v", got)
+	}
+	if got := w.DecideFor(2, "cute"); got != core.OpinionPositive {
+		t.Errorf("spider cute = %v — negation blindness should assert it", got)
+	}
+	// Absence of an asserted property = negative assertion.
+	if got := w.DecideFor(3, "cute"); got != core.OpinionNegative {
+		t.Errorf("tiger cute = %v, want negative (absent from KB relation)", got)
+	}
+	if got := w.DecideFor(3, "big"); got != core.OpinionNegative {
+		t.Errorf("tiger big (1 co-occurrence < threshold 2) = %v, want negative", got)
+	}
+	// Entity never mentioned: not contained, no coverage.
+	if got := w.DecideFor(99, "cute"); got != core.OpinionUnsolved {
+		t.Errorf("unknown entity = %v, want unsolved", got)
+	}
+}
+
+func TestWebChildDecideOnCounts(t *testing.T) {
+	w := NewWebChild(evidence.NewStore(), 2)
+	if got := w.Decide(0, 0); got != core.OpinionUnsolved {
+		t.Errorf("Decide(0,0) = %v", got)
+	}
+	if got := w.Decide(1, 1); got != core.OpinionPositive {
+		t.Errorf("Decide(1,1) = %v", got)
+	}
+	if got := w.Decide(1, 0); got != core.OpinionNegative {
+		t.Errorf("Decide(1,0) = %v (below threshold)", got)
+	}
+}
+
+func TestMethodsAreMethodInterface(t *testing.T) {
+	var _ Method = MajorityVote{}
+	var _ Method = ScaledMajorityVote{}
+	var _ Method = (*WebChild)(nil)
+	_ = kb.EntityID(0)
+}

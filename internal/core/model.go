@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution: the
+// probabilistic model of how authors generate statements on the Web
+// (Section 5) and the unsupervised expectation-maximization trainer with
+// closed-form E and M steps (Section 6).
+//
+// The model, per (type, property) combination: each entity i has a hidden
+// dominant opinion Di ∈ {+,−}. An author agrees with Di with probability
+// pA; an author holding a positive opinion writes a positive statement
+// with probability p+S, one holding a negative opinion writes a negative
+// statement with probability p−S. Over n authors the counters (C+, C−)
+// are approximately products of Poissons with rates
+//
+//	λ++ = n·pA·p+S        λ−+ = n·(1−pA)·p−S      (Di = +)
+//	λ+− = n·(1−pA)·p+S    λ−− = n·pA·p−S          (Di = −)
+//
+// Because the three parameters only enter through the products n·p±S, the
+// implementation works with NpPlus = n·p+S and NpMinus = n·p−S directly
+// (as the paper does, "to minimize rounding errors").
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Params are the model parameters for one (type, property) combination.
+type Params struct {
+	PA      float64 // probability an author agrees with the dominant opinion
+	NpPlus  float64 // n·p+S: expected positive statements per positive-opinion population
+	NpMinus float64 // n·p−S: expected negative statements per negative-opinion population
+}
+
+// Lambdas returns the four Poisson rates (λ++, λ−+, λ+−, λ−−): the
+// subscript is the dominant opinion, the superscript the statement
+// polarity.
+func (p Params) Lambdas() (lpp, lnp, lpn, lnn float64) {
+	lpp = p.PA * p.NpPlus
+	lnp = (1 - p.PA) * p.NpMinus
+	lpn = (1 - p.PA) * p.NpPlus
+	lnn = p.PA * p.NpMinus
+	return
+}
+
+// Valid reports whether the parameters are usable: pA in (0.5, 1] so that
+// the positive label is identified, non-negative rates.
+func (p Params) Valid() bool {
+	return p.PA > 0.5 && p.PA <= 1 &&
+		p.NpPlus >= 0 && p.NpMinus >= 0 &&
+		!math.IsNaN(p.NpPlus) && !math.IsNaN(p.NpMinus) &&
+		!math.IsInf(p.NpPlus, 0) && !math.IsInf(p.NpMinus, 0)
+}
+
+// Tuple is the observed evidence ⟨C+, C−⟩ for one entity.
+type Tuple struct {
+	Pos int
+	Neg int
+}
+
+// Model is a fitted user-behaviour model for one (type, property)
+// combination. The prior over Di is uniform (0.5/0.5), as in the paper.
+type Model struct {
+	Params Params
+}
+
+// PosteriorPositive returns Pr(Di = + | C+ = c.Pos, C− = c.Neg) under the
+// Poisson product approximation. It is defined for every tuple, including
+// ⟨0, 0⟩ — the zero-evidence case the model can still classify.
+func (m Model) PosteriorPositive(c Tuple) float64 {
+	lpp, lnp, lpn, lnn := m.Params.Lambdas()
+	logPos := stats.LogPoissonPMF(c.Pos, lpp) + stats.LogPoissonPMF(c.Neg, lnp)
+	logNeg := stats.LogPoissonPMF(c.Pos, lpn) + stats.LogPoissonPMF(c.Neg, lnn)
+	return posteriorFromLogs(logPos, logNeg)
+}
+
+// PosteriorPositiveExact computes the posterior with the exact trinomial
+// likelihood instead of the Poisson approximation, given the author count
+// n. Used by the approximation-quality ablation; O(1) but requires n.
+func (m Model) PosteriorPositiveExact(c Tuple, n int) float64 {
+	pp := m.Params.PA * m.Params.NpPlus / float64(n)
+	np := (1 - m.Params.PA) * m.Params.NpMinus / float64(n)
+	pn := (1 - m.Params.PA) * m.Params.NpPlus / float64(n)
+	nn := m.Params.PA * m.Params.NpMinus / float64(n)
+	logPos := stats.LogMultinomialTrinomialPMF(c.Pos, c.Neg, n, pp, np)
+	logNeg := stats.LogMultinomialTrinomialPMF(c.Pos, c.Neg, n, pn, nn)
+	return posteriorFromLogs(logPos, logNeg)
+}
+
+func posteriorFromLogs(logPos, logNeg float64) float64 {
+	if math.IsInf(logPos, -1) && math.IsInf(logNeg, -1) {
+		return 0.5 // both branches impossible: stay agnostic
+	}
+	z := stats.LogSumExp(logPos, logNeg)
+	return math.Exp(logPos - z)
+}
+
+// LogLikelihood returns the total observed-data log-likelihood
+// Σ_i log(0.5·Pr(E_i|D=+) + 0.5·Pr(E_i|D=−)) of the tuples under the model.
+func (m Model) LogLikelihood(tuples []Tuple) float64 {
+	lpp, lnp, lpn, lnn := m.Params.Lambdas()
+	ll := 0.0
+	log05 := math.Log(0.5)
+	for _, c := range tuples {
+		logPos := log05 + stats.LogPoissonPMF(c.Pos, lpp) + stats.LogPoissonPMF(c.Neg, lnp)
+		logNeg := log05 + stats.LogPoissonPMF(c.Pos, lpn) + stats.LogPoissonPMF(c.Neg, lnn)
+		ll += stats.LogSumExp(logPos, logNeg)
+	}
+	return ll
+}
+
+// Opinion is the polarity decision for one entity.
+type Opinion int8
+
+// Decision outcomes. Unsolved corresponds to a posterior of exactly 1/2
+// (Algorithm 1 adds no tuple in that case).
+const (
+	OpinionNegative Opinion = -1
+	OpinionUnsolved Opinion = 0
+	OpinionPositive Opinion = +1
+)
+
+func (o Opinion) String() string {
+	switch o {
+	case OpinionPositive:
+		return "+"
+	case OpinionNegative:
+		return "-"
+	}
+	return "N"
+}
+
+// decisionEpsilon guards the probability-one-half comparison of
+// Algorithm 1 against floating-point noise.
+const decisionEpsilon = 1e-9
+
+// Decide maps a posterior probability to an Opinion with the paper's 1/2
+// threshold.
+func Decide(prob float64) Opinion {
+	switch {
+	case prob > 0.5+decisionEpsilon:
+		return OpinionPositive
+	case prob < 0.5-decisionEpsilon:
+		return OpinionNegative
+	default:
+		return OpinionUnsolved
+	}
+}
+
+// Result is the classification of one entity.
+type Result struct {
+	Probability float64 // Pr(property applies | evidence)
+	Opinion     Opinion
+}
+
+// Classify returns the posterior probability and decision for every tuple.
+func (m Model) Classify(tuples []Tuple) []Result {
+	out := make([]Result, len(tuples))
+	for i, c := range tuples {
+		p := m.PosteriorPositive(c)
+		out[i] = Result{Probability: p, Opinion: Decide(p)}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL serialises documents one JSON object per line — the on-disk
+// snapshot format shared by cmd/corpusgen and cmd/surveyor.
+func WriteJSONL(w io.Writer, docs []Document) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			return fmt.Errorf("corpus: write document %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a snapshot written by WriteJSONL. Lines that fail to
+// parse abort with an error naming the line.
+func ReadJSONL(r io.Reader) ([]Document, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<22)
+	var docs []Document
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var d Document
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		docs = append(docs, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: read: %w", err)
+	}
+	return docs, nil
+}

@@ -1,0 +1,244 @@
+package corpus
+
+import (
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/stats"
+)
+
+// renderer turns statement decisions into English sentences that the NLP
+// front end can parse and the extractor can interpret. Template coverage:
+// all three Figure-4 patterns, negation styles including double negation
+// (Figure 5), broad-copula variants (captured only by pattern versions
+// 1-2), and the non-intrinsic / non-coreferential distractors the checks
+// of Section 4 must filter.
+type renderer struct {
+	base *kb.KB
+	rng  *stats.RNG
+	lex  *lexicon.Lexicon
+}
+
+func newRenderer(base *kb.KB, rng *stats.RNG) *renderer {
+	return &renderer{base: base, rng: rng, lex: lexicon.Default()}
+}
+
+// fillerAdjectives are used for conjunction partners and noise; they are
+// deliberately disjoint from every evaluation property so tracked counters
+// stay interpretable.
+var fillerAdjectives = []string{"nice", "lovely", "charming", "famous",
+	"wonderful", "great", "scenic", "modern", "vibrant", "clean"}
+
+var aspectNouns = []string{"parking", "traffic", "nightlife", "beginners",
+	"families", "tourists", "kids", "summer", "winter", "hiking", "swimming"}
+
+var objectiveAdjs = []string{"southern", "northern", "eastern", "western",
+	"coastal", "urban", "rural"}
+
+// subject is a realised entity noun phrase.
+type subject struct {
+	np     string // e.g. "Chicago", "The kitten", "Kittens"
+	plural bool
+}
+
+// realizeSubject picks a surface form for the entity. Proper names stay
+// as-is; common nouns alternate between "The <name>" and the bare plural.
+func (r *renderer) realizeSubject(e *kb.Entity) subject {
+	if e.Proper {
+		return subject{np: e.Name}
+	}
+	if r.rng.Bernoulli(0.5) {
+		return subject{np: kb.Pluralize(e.Name), plural: true}
+	}
+	return subject{np: "The " + e.Name}
+}
+
+func (s subject) be() string {
+	if s.plural {
+		return "are"
+	}
+	return "is"
+}
+
+func (s subject) beNot() string {
+	if s.plural {
+		return "aren't"
+	}
+	return "isn't"
+}
+
+func (s subject) seems() string {
+	if s.plural {
+		return "seem"
+	}
+	return "seems"
+}
+
+func (s subject) doesNotSeem() string {
+	if s.plural {
+		return "don't seem"
+	}
+	return "doesn't seem"
+}
+
+func article(word string) string {
+	switch word[0] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return "an"
+	}
+	return "a"
+}
+
+func capitalise(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// evidenceSentence renders one statement decision.
+func (r *renderer) evidenceSentence(spec *Spec, e *kb.Entity, positive bool, cfg Config) string {
+	s := r.realizeSubject(e)
+	prop := spec.Property
+	typN := spec.Type
+	if s.plural {
+		typN = kb.Pluralize(typN)
+	}
+
+	if positive {
+		if r.rng.Bernoulli(cfg.DoubleNegFrac) {
+			// Double negation: "I don't think that kittens are never cute."
+			return capitalise("I don't think that " + s.np + " " + s.be() + " never " + prop + ".")
+		}
+		if r.rng.Bernoulli(cfg.BroadCopulaFrac) {
+			return capitalise(s.np + " " + s.seems() + " " + prop + ".")
+		}
+		switch r.rng.Intn(6) {
+		case 0:
+			return capitalise(s.np + " " + s.be() + " " + prop + ".")
+		case 1:
+			if s.plural {
+				return capitalise(s.np + " are " + prop + " " + typN + ".")
+			}
+			if e.Proper && r.rng.Bernoulli(0.3) {
+				// Appositive rename: "Chicago, a big city, is lovely."
+				filler := fillerAdjectives[r.rng.Intn(len(fillerAdjectives))]
+				return capitalise(s.np + ", " + article(prop) + " " + prop + " " + typN + ", is " + filler + ".")
+			}
+			return capitalise(s.np + " is " + article(prop) + " " + prop + " " + typN + ".")
+		case 2:
+			return capitalise("I think that " + s.np + " " + s.be() + " " + prop + ".")
+		case 3:
+			return capitalise("Everyone agrees that " + s.np + " " + s.be() + " " + prop + ".")
+		case 4:
+			filler := fillerAdjectives[r.rng.Intn(len(fillerAdjectives))]
+			return capitalise(s.np + " " + s.be() + " " + prop + " and " + filler + ".")
+		default:
+			// "definitely" is not a degree adverb, so the extracted
+			// property stays the bare adjective.
+			return capitalise(s.np + " " + s.be() + " definitely " + prop + ".")
+		}
+	}
+
+	if r.rng.Bernoulli(cfg.BroadCopulaFrac) {
+		return capitalise(s.np + " " + s.doesNotSeem() + " " + prop + ".")
+	}
+	switch r.rng.Intn(5) {
+	case 0:
+		return capitalise(s.np + " " + s.be() + " not " + prop + ".")
+	case 1:
+		return capitalise(s.np + " " + s.beNot() + " " + prop + ".")
+	case 2:
+		if s.plural {
+			return capitalise(s.np + " are not " + prop + " " + typN + ".")
+		}
+		return capitalise(s.np + " is not " + article(prop) + " " + prop + " " + typN + ".")
+	case 3:
+		return capitalise("I don't think that " + s.np + " " + s.be() + " " + prop + ".")
+	default:
+		return capitalise(s.np + " " + s.be() + " never " + prop + ".")
+	}
+}
+
+// antonymSentence voices an opinion through the property's antonym:
+// a positive antonym assertion ("Palo Alto is small") for negated=false,
+// or a negated antonym assertion ("Sacramento is not small") for
+// negated=true. Returns "" when the property has no registered antonym.
+func (r *renderer) antonymSentence(spec *Spec, e *kb.Entity, negated bool) string {
+	antos := r.lex.Antonyms(spec.Property)
+	if len(antos) == 0 {
+		return ""
+	}
+	anto := antos[r.rng.Intn(len(antos))]
+	s := r.realizeSubject(e)
+	if negated {
+		switch r.rng.Intn(2) {
+		case 0:
+			return capitalise(s.np + " " + s.be() + " not " + anto + ".")
+		default:
+			return capitalise(s.np + " " + s.beNot() + " " + anto + ".")
+		}
+	}
+	switch r.rng.Intn(3) {
+	case 0:
+		return capitalise(s.np + " " + s.be() + " " + anto + ".")
+	case 1:
+		typN := spec.Type
+		if s.plural {
+			typN = kb.Pluralize(typN)
+			return capitalise(s.np + " are " + anto + " " + typN + ".")
+		}
+		return capitalise(s.np + " is " + article(anto) + " " + anto + " " + typN + ".")
+	default:
+		return capitalise("I think that " + s.np + " " + s.be() + " " + anto + ".")
+	}
+}
+
+// noiseSentence renders a sentence that a precise extractor must NOT count
+// as intrinsic evidence. A share of them look like statements about
+// tracked properties ("X is big for a suburb") with polarity unrelated to
+// the latent truth — the noise that separates pattern versions 1-2 from
+// 3-4 in Table 4.
+func (r *renderer) noiseSentence(specs []Spec, cfg Config) string {
+	spec := &specs[r.rng.Intn(len(specs))]
+	ids := r.base.OfType(spec.Type)
+	if len(ids) == 0 {
+		return "The weather is nice."
+	}
+	e := r.base.Get(ids[r.rng.Intn(len(ids))])
+	s := r.realizeSubject(e)
+
+	if r.rng.Bernoulli(cfg.NonIntrinsicFrac) {
+		// Aspect statement (PP constriction). Half use the tracked
+		// property with random polarity — misleading for negation-aware
+		// but check-less extraction (versions 1-2).
+		adj := fillerAdjectives[r.rng.Intn(len(fillerAdjectives))]
+		if r.rng.Bernoulli(0.5) {
+			adj = spec.Property
+		}
+		noun := aspectNouns[r.rng.Intn(len(aspectNouns))]
+		if r.rng.Bernoulli(0.3) {
+			return capitalise(s.np + " " + s.be() + " not " + adj + " for " + noun + ".")
+		}
+		return capitalise(s.np + " " + s.be() + " " + adj + " for " + noun + ".")
+	}
+
+	switch r.rng.Intn(4) {
+	case 0:
+		// Non-coreferential attributive modifier ("Southern France...").
+		obj := objectiveAdjs[r.rng.Intn(len(objectiveAdjs))]
+		filler := fillerAdjectives[r.rng.Intn(len(fillerAdjectives))]
+		if e.Proper {
+			return capitalise(obj + " " + e.Name + " is " + filler + ".")
+		}
+		return capitalise("The " + obj + " " + e.Name + " is " + filler + ".")
+	case 1:
+		return capitalise("We visited " + s.np + " last year.")
+	case 2:
+		return capitalise("I love " + s.np + ".")
+	default:
+		noun := aspectNouns[r.rng.Intn(len(aspectNouns))]
+		return capitalise(s.np + " " + s.be() + " there for " + noun + ".")
+	}
+}

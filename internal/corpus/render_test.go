@@ -1,0 +1,191 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/stats"
+)
+
+// TestAntonymSentenceRoundTrip verifies that antonym renders extract as
+// statements about the ANTONYM property (not the primary one) with the
+// right polarity — the separate-property behaviour the paper keeps.
+func TestAntonymSentenceRoundTrip(t *testing.T) {
+	base := smallKB()
+	f := newFrontend(base, extract.V4)
+	rng := stats.NewRNG(17)
+	r := newRenderer(base, rng)
+	spec := &Spec{Type: "city", Property: "big", PA: 0.9, NpPlus: 10, NpMinus: 1}
+	e := base.Get(base.Candidates("tinytown")[0])
+
+	posHits, negHits := 0, 0
+	for i := 0; i < 300; i++ {
+		negated := i%2 == 1
+		text := r.antonymSentence(spec, e, negated)
+		if text == "" {
+			t.Fatal("big has antonyms; render must not be empty")
+		}
+		stmts := f.extractAll(text)
+		if len(stmts) != 1 {
+			t.Fatalf("antonym sentence %q extracted %v", text, stmts)
+		}
+		st := stmts[0]
+		if st.Property == "big" {
+			t.Fatalf("antonym sentence %q leaked into the primary property", text)
+		}
+		if !negated && st.Polarity == extract.Positive {
+			posHits++
+		}
+		if negated && st.Polarity == extract.Negative {
+			negHits++
+		}
+	}
+	if posHits != 150 || negHits != 150 {
+		t.Fatalf("polarity accounting: pos %d/150, neg %d/150", posHits, negHits)
+	}
+}
+
+func TestAntonymSentenceNoAntonym(t *testing.T) {
+	base := smallKB()
+	rng := stats.NewRNG(19)
+	r := newRenderer(base, rng)
+	spec := &Spec{Type: "city", Property: "multicultural"}
+	if got := r.antonymSentence(spec, base.Get(0), false); got == "" {
+		// "multicultural" has the antonym "homogeneous" in the lexicon, so
+		// pick a property that really has none.
+		t.Skip()
+	}
+	spec2 := &Spec{Type: "city", Property: "addictive"}
+	if got := r.antonymSentence(spec2, base.Get(0), false); got != "" {
+		t.Fatalf("property without antonym rendered %q", got)
+	}
+}
+
+// TestEvidenceTemplatesAllParse fires every template branch and confirms
+// each render survives the full front end under the version that should
+// see it.
+func TestEvidenceTemplatesAllParse(t *testing.T) {
+	base := smallKB()
+	f4 := newFrontend(base, extract.V4)
+	f2 := newFrontend(base, extract.V2)
+	rng := stats.NewRNG(23)
+	r := newRenderer(base, rng)
+	cfg := Config{}.withDefaults()
+	spec := &Spec{Type: "animal", Property: "cute", PA: 0.9, NpPlus: 10, NpMinus: 1}
+	e := base.Get(base.Candidates("kitten")[0])
+
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		text := r.evidenceSentence(spec, e, i%2 == 0, cfg)
+		seen[templateShape(text)] = true
+		stmts := f4.extractAll(text)
+		if len(stmts) == 0 {
+			stmts = f2.extractAll(text) // broad-copula renders need V2
+		}
+		if len(stmts) == 0 {
+			t.Fatalf("template render %q extracted nothing under V2 either", text)
+		}
+	}
+	// The renderer has many distinct shapes; require a healthy variety.
+	if len(seen) < 8 {
+		t.Fatalf("only %d template shapes observed: %v", len(seen), seen)
+	}
+}
+
+// templateShape fingerprints a render for variety accounting.
+func templateShape(text string) string {
+	switch {
+	case strings.Contains(text, "don't think") && strings.Contains(text, "never"):
+		return "double-negation"
+	case strings.Contains(text, "don't think"):
+		return "embedded-negation"
+	case strings.Contains(text, "seem"):
+		return "broad-copula"
+	case strings.Contains(text, "Everyone agrees"):
+		return "opinion-prefix"
+	case strings.Contains(text, "I think"):
+		return "i-think"
+	case strings.Contains(text, " and "):
+		return "conjunction"
+	case strings.Contains(text, "definitely"):
+		return "adverb"
+	case strings.Contains(text, "never"):
+		return "never"
+	case strings.Contains(text, "n't"):
+		return "contraction"
+	case strings.Contains(text, " not "):
+		return "not"
+	case strings.Contains(text, " animal"):
+		return "pred-nominal"
+	default:
+		return "plain"
+	}
+}
+
+func TestNoiseSentenceEmptyType(t *testing.T) {
+	base := kb.New() // no entities at all
+	rng := stats.NewRNG(29)
+	r := newRenderer(base, rng)
+	specs := []Spec{{Type: "ghost", Property: "spooky"}}
+	if got := r.noiseSentence(specs, Config{}.withDefaults()); got == "" {
+		t.Fatal("noise sentence for empty type should fall back, not be empty")
+	}
+}
+
+func TestRealizeSubjectForms(t *testing.T) {
+	base := smallKB()
+	rng := stats.NewRNG(31)
+	r := newRenderer(base, rng)
+	proper := base.Get(base.Candidates("bigville")[0])
+	if s := r.realizeSubject(proper); s.np != "Bigville" || s.plural {
+		t.Fatalf("proper subject = %+v", s)
+	}
+	common := base.Get(base.Candidates("kitten")[0])
+	forms := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		forms[r.realizeSubject(common).np] = true
+	}
+	if !forms["kittens"] || !forms["The kitten"] {
+		t.Fatalf("common-noun forms = %v", forms)
+	}
+}
+
+func TestSubjectAgreementHelpers(t *testing.T) {
+	sg := subject{np: "The kitten"}
+	pl := subject{np: "kittens", plural: true}
+	if sg.be() != "is" || pl.be() != "are" {
+		t.Fatal("be() wrong")
+	}
+	if sg.beNot() != "isn't" || pl.beNot() != "aren't" {
+		t.Fatal("beNot() wrong")
+	}
+	if sg.seems() != "seems" || pl.seems() != "seem" {
+		t.Fatal("seems() wrong")
+	}
+	if sg.doesNotSeem() != "doesn't seem" || pl.doesNotSeem() != "don't seem" {
+		t.Fatal("doesNotSeem() wrong")
+	}
+}
+
+func TestArticleChoice(t *testing.T) {
+	if article("exciting") != "an" || article("big") != "a" {
+		t.Fatal("article choice wrong")
+	}
+}
+
+func TestAntonymFracGeneratesAntonymEvidence(t *testing.T) {
+	base := smallKB()
+	specs := smallSpecs()
+	snap := NewGenerator(base, specs, Config{Seed: 77, AntonymFrac: 0.6, Scale: 2}).Generate()
+	joined := ""
+	for _, d := range snap.Documents {
+		joined += d.Text + " "
+	}
+	// "big" has antonyms small/tiny; with AntonymFrac 0.6 some negative
+	// city opinions must surface as antonym assertions.
+	if !strings.Contains(joined, "small") && !strings.Contains(joined, "tiny") {
+		t.Fatal("no antonym statements rendered despite AntonymFrac")
+	}
+}

@@ -1,0 +1,193 @@
+package corpus
+
+import (
+	"hash/fnv"
+
+	"repro/internal/kb"
+	"repro/internal/stats"
+)
+
+// HashFraction builds a deterministic pseudo-random per-entity positive
+// fraction: roughly a `rate` share of entities lean positive, with a
+// smooth agreement spread up to maxAgree (entities hashed near the cut
+// line are controversial).
+func HashFraction(property string, rate, maxAgree float64) func(e *kb.Entity, domain string) float64 {
+	return func(e *kb.Entity, domain string) float64 {
+		h := fnv.New64a()
+		h.Write([]byte(e.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(property))
+		u := float64(h.Sum64()%1_000_000) / 1_000_000
+		x := (rate - u) * 10 // near the cut → controversial
+		return (1 - maxAgree) + (2*maxAgree-1)*stats.Sigmoid(x)
+	}
+}
+
+// Table2Specs returns the 25 evaluated (type, property) combinations of
+// Table 2. Latent opinion fractions are per-entity sigmoids on KB
+// attributes where a natural proxy exists (kittens cute at 98%, tigers at
+// ~60% — the Figure 10 spread) and smoothed hashes otherwise. Agreement
+// ceilings and emission biases vary per combination — the heterogeneity
+// that justifies per-combination modelling (Sections 2, 5.1, 7.3).
+func Table2Specs() []Spec {
+	return []Spec{
+		// --- Animals -----------------------------------------------------
+		// Worker agreement on "dangerous animals" was the highest (≈18/20).
+		{Type: "animal", Property: "dangerous", PA: 0.92, NpPlus: 30, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("ferocity", 0.55, 0.08, 0.985)},
+		// Cute: users state cuteness far more often than its absence.
+		{Type: "animal", Property: "cute", PA: 0.90, NpPlus: 45, NpMinus: 2,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("cuteness", 0.55, 0.1, 0.985)},
+		{Type: "animal", Property: "big", PA: 0.88, NpPlus: 25, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("weight_kg", 100, 0.8, 0.98)},
+		{Type: "animal", Property: "friendly", PA: 0.82, NpPlus: 18, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         InvertFraction(SigmoidFraction("ferocity", 0.25, 0.1, 0.96))},
+		{Type: "animal", Property: "deadly", PA: 0.9, NpPlus: 20, NpMinus: 1,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("ferocity", 0.8, 0.07, 0.985)},
+
+		// --- Celebrities ---------------------------------------------------
+		{Type: "celebrity", Property: "cool", PA: 0.78, NpPlus: 22, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("cool", 0.45, 0.92)},
+		{Type: "celebrity", Property: "crazy", PA: 0.75, NpPlus: 15, NpMinus: 1,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("crazy", 0.3, 0.88)},
+		{Type: "celebrity", Property: "pretty", PA: 0.8, NpPlus: 28, NpMinus: 1.4,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("pretty", 0.5, 0.96)},
+		{Type: "celebrity", Property: "quiet", PA: 0.76, NpPlus: 6, NpMinus: 15,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("quiet", 0.35, 0.87)},
+		{Type: "celebrity", Property: "young", PA: 0.88, NpPlus: 16, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         InvertFraction(SigmoidFraction("age", 35, 6, 0.98))},
+
+		// --- Cities --------------------------------------------------------
+		{Type: "city", Property: "big", PA: 0.9, NpPlus: 40, NpMinus: 2,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("population", 250_000, 0.5, 0.985)},
+		// Calm: authors complain when a city is NOT calm — the inverted
+		// polarity bias (np−S ≫ np+S) of the paper's safe-cities example.
+		{Type: "city", Property: "calm", PA: 0.8, NpPlus: 4, NpMinus: 30,
+			PopularityWeighting: true,
+			PosFraction:         InvertFraction(LogSigmoidFraction("population", 120_000, 0.6, 0.93))},
+		{Type: "city", Property: "cheap", PA: 0.78, NpPlus: 5, NpMinus: 28,
+			PopularityWeighting: true,
+			PosFraction:         InvertFraction(LogSigmoidFraction("population", 200_000, 0.7, 0.9))},
+		{Type: "city", Property: "hectic", PA: 0.82, NpPlus: 18, NpMinus: 1,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("population", 500_000, 0.6, 0.95)},
+		{Type: "city", Property: "multicultural", PA: 0.85, NpPlus: 20, NpMinus: 1,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("population", 300_000, 0.6, 0.96)},
+
+		// --- Professions -----------------------------------------------------
+		// Worker agreement on "dangerous professions" is lower than on
+		// dangerous animals (≈16/20 in Section 7.3).
+		{Type: "profession", Property: "dangerous", PA: 0.84, NpPlus: 26, NpMinus: 1.4,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("risk", 0.6, 0.12, 0.96)},
+		{Type: "profession", Property: "exciting", PA: 0.76, NpPlus: 20, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("risk", 0.5, 0.18, 0.89)},
+		{Type: "profession", Property: "rare", PA: 0.86, NpPlus: 16, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("scarcity", 0.6, 0.1, 0.97)},
+		{Type: "profession", Property: "solid", PA: 0.77, NpPlus: 18, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("salary", 0.55, 0.15, 0.9)},
+		{Type: "profession", Property: "vital", PA: 0.8, NpPlus: 16, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("vital", 0.4, 0.92)},
+
+		// --- Sports ---------------------------------------------------------
+		{Type: "sport", Property: "addictive", PA: 0.75, NpPlus: 18, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         HashFraction("addictive", 0.45, 0.88)},
+		// Boring sports: lowest agreement of the set (≈15/20).
+		{Type: "sport", Property: "boring", PA: 0.72, NpPlus: 5, NpMinus: 22,
+			PopularityWeighting: true,
+			PosFraction:         InvertFraction(SigmoidFraction("speed", 0.3, 0.15, 0.8))},
+		{Type: "sport", Property: "dangerous", PA: 0.83, NpPlus: 24, NpMinus: 1.4,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("risk", 0.6, 0.13, 0.94)},
+		{Type: "sport", Property: "fast", PA: 0.85, NpPlus: 22, NpMinus: 1.2,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("speed", 0.7, 0.1, 0.97)},
+		{Type: "sport", Property: "popular", PA: 0.87, NpPlus: 30, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("popularity", 0.6, 0.09, 0.98)},
+	}
+}
+
+// Figure3Spec returns the Section-2 empirical-study combination: big
+// Californian cities, with heavy polarity bias (negative statements an
+// order of magnitude rarer) and population-correlated truth.
+func Figure3Spec() Spec {
+	return Spec{
+		Type: "city", Property: "big", PA: 0.9, NpPlus: 40, NpMinus: 2,
+		PosFraction: LogSigmoidFraction("population", 250_000, 0.5, 0.985),
+	}
+}
+
+// AppendixASpecs returns the three additional empirical-study combinations
+// of Appendix A: wealthy countries (GDP per capita), big Swiss lakes
+// (area), high British mountains (relative height).
+func AppendixASpecs() []Spec {
+	return []Spec{
+		{Type: "country", Property: "wealthy", PA: 0.88, NpPlus: 30, NpMinus: 2,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("gdp_per_capita", 20_000, 0.5, 0.95)},
+		{Type: "lake", Property: "big", PA: 0.86, NpPlus: 18, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         LogSigmoidFraction("area_km2", 30, 0.7, 0.94)},
+		{Type: "mountain", Property: "high", PA: 0.87, NpPlus: 16, NpMinus: 1.5,
+			PopularityWeighting: true,
+			PosFraction:         SigmoidFraction("height_m", 700, 120, 0.95)},
+	}
+}
+
+// RandomSpecs builds specs for randomly sampled (type, property)
+// combinations over the synthetic long-tail domains of Appendix D. The
+// prominence-weighted emission makes most entities unmentioned, which is
+// what collapses baseline coverage in Table 5.
+func RandomSpecs(types []string, properties []string, seed uint64) []Spec {
+	specs := make([]Spec, 0, len(types))
+	for i, typ := range types {
+		prop := properties[i%len(properties)]
+		// Vary parameters deterministically per combination.
+		pa := 0.72 + float64((i*37)%23)/100 // 0.72 .. 0.94
+		npPlus := 60 + float64((i*53)%100)  // 60 .. 159
+		npMinus := 3 + float64((i*29)%8)    // 3 .. 10
+		specs = append(specs, Spec{
+			Type: typ, Property: prop,
+			PA: pa, NpPlus: npPlus, NpMinus: npMinus,
+			PosFraction:         HashFraction(prop, 0.35, pa),
+			PopularityWeighting: true,
+		})
+	}
+	_ = seed
+	return specs
+}
+
+// RegionalSpec builds a city-property spec whose latent truth differs by
+// authoring region: entities above the threshold for the first domain,
+// above 4× the threshold for the second — e.g. what counts as a "big
+// city" differs between regions (Section 2's Chinese vs American users).
+func RegionalSpec(property string, domainA, domainB string, thresholdA float64) Spec {
+	return Spec{
+		Type: "city", Property: property, PA: 0.88, NpPlus: 30, NpMinus: 3,
+		Truth: func(e *kb.Entity, domain string) bool {
+			t := thresholdA
+			if domain == domainB {
+				t = thresholdA * 4
+			}
+			return e.Attr("population", 0) >= t
+		},
+	}
+}

@@ -1,0 +1,55 @@
+package evidence
+
+// AntonymResolver maps a property to the primary property it is an
+// antonym of, if any ("small" -> "big").
+type AntonymResolver func(property string) (primary string, ok bool)
+
+// FoldAntonyms derives a new store in which evidence about antonym
+// properties is folded into the primary property, implementing the
+// interpretation the paper considered — and rejected — in Section 4:
+// treating "Palo Alto is small" as a negation of "Palo Alto is big".
+//
+// A positive statement about the antonym becomes a negative statement
+// about the primary. With naive also set, negative antonym statements
+// ("X is not small") additionally become positive primary statements —
+// the stronger reading the paper's objection targets: someone calling a
+// city "not small" is not necessarily calling it big.
+func FoldAntonyms(s *Store, resolve AntonymResolver, naive bool) *Store {
+	out := NewStore()
+	for _, e := range s.Snapshot() {
+		primary, ok := resolve(e.Property)
+		if !ok {
+			out.AddCounts(e.Key, e.Counts)
+			continue
+		}
+		folded := Counts{Neg: e.Pos}
+		if naive {
+			folded.Pos = e.Neg
+		}
+		out.AddCounts(Key{Entity: e.Entity, Property: primary}, folded)
+	}
+	return out
+}
+
+// PrimaryByVolume builds an AntonymResolver from an antonym dictionary
+// and the store itself: among each antonym pair, the property with the
+// larger statement volume is primary, the other folds into it. Properties
+// with equal volume stay separate (no safe direction).
+func PrimaryByVolume(s *Store, antonyms func(string) []string) AntonymResolver {
+	totals := map[string]int64{}
+	for _, e := range s.Snapshot() {
+		totals[e.Property] += e.Total()
+	}
+	mapping := map[string]string{}
+	for prop := range totals {
+		for _, anto := range antonyms(prop) {
+			if totals[anto] > totals[prop] {
+				mapping[prop] = anto
+			}
+		}
+	}
+	return func(property string) (string, bool) {
+		p, ok := mapping[property]
+		return p, ok
+	}
+}

@@ -1,0 +1,315 @@
+// Package evidence accumulates extracted statements into the per
+// (entity, property) counters ⟨C+, C−⟩ the Surveyor model consumes, groups
+// them by (type, property), and applies the occurrence threshold ρ.
+//
+// The Store supports concurrent writers (the parallel extraction phase)
+// and shard merging (the reduce step of the pipeline), with a compact
+// binary codec for spilling shards.
+package evidence
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/extract"
+	"repro/internal/kb"
+)
+
+// Key identifies one entity-property pair.
+type Key struct {
+	Entity   kb.EntityID
+	Property string
+}
+
+// Counts is the evidence tuple ⟨C+, C−⟩ for one key.
+type Counts struct {
+	Pos int64
+	Neg int64
+}
+
+// Total returns C+ + C−.
+func (c Counts) Total() int64 { return c.Pos + c.Neg }
+
+// Store is a concurrent counter map. Writers call Add; after all writers
+// finish, readers use Snapshot/Group.
+type Store struct {
+	shards [storeShards]storeShard
+}
+
+const storeShards = 64
+
+type storeShard struct {
+	mu sync.Mutex
+	m  map[Key]Counts
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = map[Key]Counts{}
+	}
+	return s
+}
+
+func (s *Store) shardFor(k Key) *storeShard {
+	h := uint64(k.Entity) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(k.Property); i++ {
+		h = (h ^ uint64(k.Property[i])) * 0x100000001b3
+	}
+	return &s.shards[h%storeShards]
+}
+
+// Add records one statement.
+func (s *Store) Add(st extract.Statement) {
+	k := Key{Entity: st.Entity, Property: st.Property}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	c := sh.m[k]
+	if st.Polarity == extract.Positive {
+		c.Pos++
+	} else {
+		c.Neg++
+	}
+	sh.m[k] = c
+	sh.mu.Unlock()
+}
+
+// AddCounts merges a pre-aggregated tuple for a key.
+func (s *Store) AddCounts(k Key, c Counts) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	cur := sh.m[k]
+	cur.Pos += c.Pos
+	cur.Neg += c.Neg
+	sh.m[k] = cur
+	sh.mu.Unlock()
+}
+
+// Merge folds other into s. other must not be written concurrently.
+func (s *Store) Merge(other *Store) {
+	for i := range other.shards {
+		sh := &other.shards[i]
+		sh.mu.Lock()
+		for k, c := range sh.m {
+			s.AddCounts(k, c)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Get returns the counts for a key (zero counts if absent).
+func (s *Store) Get(k Key) Counts {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m[k]
+}
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TotalStatements returns the number of recorded statements.
+func (s *Store) TotalStatements() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.m {
+			n += c.Total()
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot returns all (key, counts) pairs sorted by entity then property,
+// for deterministic iteration.
+func (s *Store) Snapshot() []Entry {
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, c := range sh.m {
+			out = append(out, Entry{Key: k, Counts: c})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Entity != out[b].Entity {
+			return out[a].Entity < out[b].Entity
+		}
+		return out[a].Property < out[b].Property
+	})
+	return out
+}
+
+// Entry is one snapshot row.
+type Entry struct {
+	Key
+	Counts
+}
+
+// GroupKey identifies a (type, property) combination — the unit the model
+// is trained on.
+type GroupKey struct {
+	Type     string
+	Property string
+}
+
+// EntityCounts pairs an entity with its evidence tuple. Entities with no
+// extracted statements appear with zero counts — the model classifies
+// those too.
+type EntityCounts struct {
+	Entity kb.EntityID
+	Pos    int64
+	Neg    int64
+}
+
+// Group is the full evidence for one (type, property) pair, covering every
+// entity of the type.
+type Group struct {
+	Key        GroupKey
+	Entities   []EntityCounts // one per KB entity of the type, in KB order
+	Statements int64          // total extracted statements for this group
+}
+
+// GroupByTypeProperty groups the store by (most notable type, property),
+// keeps groups with at least rho statements (the paper used ρ = 100 and
+// kept 380k of 7M groups), and expands each kept group to all entities of
+// the type, including zero-evidence ones.
+func GroupByTypeProperty(s *Store, base *kb.KB, rho int64) []Group {
+	type agg struct {
+		counts map[kb.EntityID]Counts
+		total  int64
+	}
+	groups := map[GroupKey]*agg{}
+	for _, e := range s.Snapshot() {
+		typ := base.Get(e.Entity).Type
+		gk := GroupKey{Type: typ, Property: e.Property}
+		g := groups[gk]
+		if g == nil {
+			g = &agg{counts: map[kb.EntityID]Counts{}}
+			groups[gk] = g
+		}
+		g.counts[e.Entity] = e.Counts
+		g.total += e.Total()
+	}
+
+	var out []Group
+	for gk, g := range groups {
+		if g.total < rho {
+			continue
+		}
+		ids := base.OfType(gk.Type)
+		ents := make([]EntityCounts, len(ids))
+		for i, id := range ids {
+			c := g.counts[id]
+			ents[i] = EntityCounts{Entity: id, Pos: c.Pos, Neg: c.Neg}
+		}
+		out = append(out, Group{Key: gk, Entities: ents, Statements: g.total})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Key.Type != out[b].Key.Type {
+			return out[a].Key.Type < out[b].Key.Type
+		}
+		return out[a].Key.Property < out[b].Key.Property
+	})
+	return out
+}
+
+// CountGroups returns the number of distinct (type, property) pairs in the
+// store regardless of ρ — the "7 million property-type pairs before
+// filtering" statistic of Section 7.1.
+func CountGroups(s *Store, base *kb.KB) int {
+	seen := map[GroupKey]bool{}
+	for _, e := range s.Snapshot() {
+		seen[GroupKey{Type: base.Get(e.Entity).Type, Property: e.Property}] = true
+	}
+	return len(seen)
+}
+
+// Save writes the store in a compact binary format: a magic header, then
+// one varint-encoded record per key.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("SVEV1\n"); err != nil {
+		return fmt.Errorf("evidence: save header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	for _, e := range s.Snapshot() {
+		if err := writeUvarint(uint64(e.Entity)); err != nil {
+			return fmt.Errorf("evidence: save: %w", err)
+		}
+		if err := writeUvarint(uint64(len(e.Property))); err != nil {
+			return fmt.Errorf("evidence: save: %w", err)
+		}
+		if _, err := bw.WriteString(e.Property); err != nil {
+			return fmt.Errorf("evidence: save: %w", err)
+		}
+		if err := writeUvarint(uint64(e.Pos)); err != nil {
+			return fmt.Errorf("evidence: save: %w", err)
+		}
+		if err := writeUvarint(uint64(e.Neg)); err != nil {
+			return fmt.Errorf("evidence: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadStore reads a store written by Save.
+func LoadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil || header != "SVEV1\n" {
+		return nil, fmt.Errorf("evidence: bad header %q: %w", header, err)
+	}
+	s := NewStore()
+	for {
+		ent, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("evidence: load entity: %w", err)
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: load: %w", err)
+		}
+		if plen > 1<<20 {
+			return nil, fmt.Errorf("evidence: property length %d too large", plen)
+		}
+		pbuf := make([]byte, plen)
+		if _, err := io.ReadFull(br, pbuf); err != nil {
+			return nil, fmt.Errorf("evidence: load property: %w", err)
+		}
+		pcnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: load pos: %w", err)
+		}
+		ncnt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("evidence: load neg: %w", err)
+		}
+		s.AddCounts(Key{Entity: kb.EntityID(ent), Property: string(pbuf)},
+			Counts{Pos: int64(pcnt), Neg: int64(ncnt)})
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/kb"
+	"repro/internal/threshold"
+)
+
+// FutureWorkRow is one learned subjective-to-objective rule compared with
+// the generative threshold that produced the data.
+type FutureWorkRow struct {
+	Type, Property, Attribute string
+	Rule                      threshold.Rule
+	// GenerativeThreshold is the latent sigmoid midpoint the corpus was
+	// generated from; recovery means the learned bound sits near it.
+	GenerativeThreshold float64
+	// RefinedChanges counts opinions the rule-feedback step flipped.
+	RefinedChanges int
+}
+
+// FutureWork reproduces the paper's Section-9 outlook: learn, from the
+// mined opinions alone, the attribute bound from which users apply a
+// subjective property — "a lower bound on the population count of a city
+// starting from which an average user would call that city big" — and
+// use the rule to refine uncertain decisions.
+func FutureWork(cfg WorldConfig) []FutureWorkRow {
+	studies := []struct {
+		spec      corpus.Spec
+		attr      string
+		genThresh float64
+		build     func(b *kb.Builder)
+	}{
+		{corpus.Figure3Spec(), "population", 250_000,
+			func(b *kb.Builder) { b.CalifornianCities(461) }},
+		{corpus.AppendixASpecs()[0], "gdp_per_capita", 20_000,
+			func(b *kb.Builder) { b.Countries() }},
+		{corpus.AppendixASpecs()[2], "height_m", 700,
+			func(b *kb.Builder) { b.BritishMountains(55) }},
+	}
+
+	var out []FutureWorkRow
+	for _, st := range studies {
+		b := kb.NewBuilder(cfg.withDefaults().Seed)
+		st.build(b)
+		b.AssignProminence(st.spec.Type, st.attr)
+		spec := st.spec
+		spec.PopularityWeighting = true
+		w := BuildWorld(cfg, b.KB(), []corpus.Spec{spec})
+
+		row := FutureWorkRow{
+			Type: spec.Type, Property: spec.Property, Attribute: st.attr,
+			GenerativeThreshold: st.genThresh,
+		}
+		g, ok := w.Result.Group(spec.Type, spec.Property)
+		if !ok {
+			out = append(out, row)
+			continue
+		}
+		attrs := make([]float64, len(g.Entities))
+		ops := make([]core.Opinion, len(g.Entities))
+		probs := make([]float64, len(g.Entities))
+		for i, eo := range g.Entities {
+			attrs[i] = w.KB.Get(eo.Entity).Attr(st.attr, 0)
+			ops[i] = eo.Opinion
+			probs[i] = eo.Probability
+		}
+		rule, ok := threshold.Learn(attrs, ops)
+		if !ok {
+			out = append(out, row)
+			continue
+		}
+		row.Rule = rule
+		_, row.RefinedChanges = threshold.Refine(rule, attrs, probs, 0.15)
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatFutureWork renders the learned rules.
+func FormatFutureWork(rows []FutureWorkRow) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "property/type\tattribute\tlearned bound\tgenerative\tagreement\tcorr\trefined")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s %s\t%s %s\t%.4g\t%.4g\t%.0f%%\t%.2f\t%d\n",
+			r.Property, r.Type, r.Attribute, r.Rule.Direction,
+			r.Rule.Threshold, r.GenerativeThreshold,
+			100*r.Rule.Agreement, r.Rule.Correlation, r.RefinedChanges)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,231 @@
+// Package kb implements the knowledge base the Surveyor pipeline runs
+// against: typed entities with aliases and objective attributes. The paper
+// used an extension of Freebase; this package provides the same interface —
+// entities grouped by their most notable type — backed by deterministic
+// synthetic instances for the paper's evaluation domains.
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/nlp/lexicon"
+)
+
+// EntityID identifies an entity within a KB. IDs are dense, assigned in
+// insertion order.
+type EntityID int32
+
+// Entity is one knowledge-base entry.
+type Entity struct {
+	ID      EntityID `json:"id"`
+	Name    string   `json:"name"` // canonical surface form, e.g. "San Francisco"
+	Type    string   `json:"type"` // most notable type, e.g. "city"
+	Aliases []string `json:"aliases,omitempty"`
+	// Proper reports whether the name is a proper noun (capitalised in
+	// text) as opposed to a common noun like "kitten" or "soccer".
+	Proper bool `json:"proper"`
+	// Attributes holds objective numeric properties (population, area_km2,
+	// gdp_per_capita, height_m, prominence) used as correlation proxies in
+	// the paper's empirical analyses.
+	Attributes map[string]float64 `json:"attributes,omitempty"`
+	// Ambiguous marks names that collide with unrelated senses; the entity
+	// tagger requires stronger context to link them (Section 2 discarded
+	// 11 of 23 high-traffic city names for ambiguity).
+	Ambiguous bool `json:"ambiguous,omitempty"`
+}
+
+// Attr returns a named attribute, or def when absent.
+func (e *Entity) Attr(name string, def float64) float64 {
+	if v, ok := e.Attributes[name]; ok {
+		return v
+	}
+	return def
+}
+
+// KB is an in-memory knowledge base. It is immutable after building and
+// safe for concurrent reads.
+type KB struct {
+	entities []Entity
+	byType   map[string][]EntityID
+	byAlias  map[string][]EntityID // lower-cased alias -> candidate IDs
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{
+		byType:  map[string][]EntityID{},
+		byAlias: map[string][]EntityID{},
+	}
+}
+
+// Add inserts an entity, assigning and returning its ID. The canonical name
+// is indexed along with all aliases; for common-noun entities a regular
+// plural alias is derived automatically ("kitten" -> "kittens").
+func (kb *KB) Add(e Entity) EntityID {
+	id := EntityID(len(kb.entities))
+	e.ID = id
+	if !e.Proper {
+		if pl := Pluralize(e.Name); pl != e.Name && !containsFold(e.Aliases, pl) {
+			e.Aliases = append(e.Aliases, pl)
+		}
+	}
+	kb.entities = append(kb.entities, e)
+	kb.byType[e.Type] = append(kb.byType[e.Type], id)
+	kb.index(e.Name, id)
+	for _, a := range e.Aliases {
+		kb.index(a, id)
+	}
+	return id
+}
+
+func (kb *KB) index(alias string, id EntityID) {
+	key := strings.ToLower(strings.TrimSpace(alias))
+	if key == "" {
+		return
+	}
+	for _, existing := range kb.byAlias[key] {
+		if existing == id {
+			return
+		}
+	}
+	kb.byAlias[key] = append(kb.byAlias[key], id)
+}
+
+func containsFold(xs []string, x string) bool {
+	for _, v := range xs {
+		if strings.EqualFold(v, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the entity with the given ID. It panics on out-of-range IDs
+// (which indicate a programming error, not bad input).
+func (kb *KB) Get(id EntityID) *Entity {
+	return &kb.entities[id]
+}
+
+// Len returns the number of entities.
+func (kb *KB) Len() int { return len(kb.entities) }
+
+// OfType returns the IDs of all entities with the given most notable type,
+// in insertion order.
+func (kb *KB) OfType(typ string) []EntityID { return kb.byType[typ] }
+
+// Types returns all entity types in sorted order.
+func (kb *KB) Types() []string {
+	out := make([]string, 0, len(kb.byType))
+	for t := range kb.byType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates returns the entity IDs whose name or alias matches the given
+// surface form (case-insensitive). The returned slice must not be modified.
+func (kb *KB) Candidates(surface string) []EntityID {
+	return kb.byAlias[strings.ToLower(surface)]
+}
+
+// MaxAliasTokens returns the maximum number of whitespace-separated tokens
+// in any indexed alias — the window size the entity tagger needs.
+func (kb *KB) MaxAliasTokens() int {
+	max := 1
+	for a := range kb.byAlias {
+		if n := strings.Count(a, " ") + 1; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// RegisterLexicon adds every entity name and alias to the lexicon so the
+// POS tagger recognises them as nouns, and registers every type name as a
+// type noun (for the coreference heuristic).
+func (kb *KB) RegisterLexicon(lex *lexicon.Lexicon) {
+	for i := range kb.entities {
+		e := &kb.entities[i]
+		for _, form := range append([]string{e.Name}, e.Aliases...) {
+			for _, w := range strings.Fields(form) {
+				lex.AddNoun(w, e.Proper)
+			}
+		}
+	}
+	for t := range kb.byType {
+		lex.AddTypeNoun(t)
+		lex.AddTypeNoun(Pluralize(t))
+	}
+}
+
+// Pluralize derives a regular English plural: city->cities, fox->foxes,
+// dog->dogs. Multi-word names pluralise the last word.
+func Pluralize(name string) string {
+	fields := strings.Fields(name)
+	if len(fields) == 0 {
+		return name
+	}
+	last := fields[len(fields)-1]
+	lower := strings.ToLower(last)
+	var pl string
+	switch {
+	case strings.HasSuffix(lower, "s") || strings.HasSuffix(lower, "x") ||
+		strings.HasSuffix(lower, "z") || strings.HasSuffix(lower, "ch") ||
+		strings.HasSuffix(lower, "sh"):
+		pl = last + "es"
+	case strings.HasSuffix(lower, "y") && len(lower) > 1 && !isVowel(lower[len(lower)-2]):
+		pl = last[:len(last)-1] + "ies"
+	default:
+		pl = last + "s"
+	}
+	fields[len(fields)-1] = pl
+	return strings.Join(fields, " ")
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Save writes the KB as JSON (one entity per line) to w.
+func (kb *KB) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range kb.entities {
+		if err := enc.Encode(&kb.entities[i]); err != nil {
+			return fmt.Errorf("kb: save entity %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a KB previously written by Save. IDs are reassigned in file
+// order (Save writes them in ID order, so round-tripping preserves IDs).
+func Load(r io.Reader) (*KB, error) {
+	kb := New()
+	dec := json.NewDecoder(r)
+	for {
+		var e Entity
+		if err := dec.Decode(&e); err == io.EOF {
+			return kb, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("kb: load: %w", err)
+		}
+		// Avoid re-deriving plural aliases that Save already persisted.
+		aliases := e.Aliases
+		e.Aliases = nil
+		added := kb.Add(e)
+		ent := kb.Get(added)
+		ent.Aliases = aliases
+		for _, a := range aliases {
+			kb.index(a, added)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package lexicon provides the word knowledge used by the Surveyor NLP
+// substrate: part-of-speech entries, copula and negation word classes, a
+// subjective-adjective inventory, and a WordNet-lite antonym table.
+//
+// The paper's pipeline consumed a web snapshot annotated by a Stanford-style
+// parser backed by large lexical resources; this package is the from-scratch
+// substitute sized to the grammar our corpus generator emits plus common
+// free-text variation.
+package lexicon
+
+import "strings"
+
+// Tag is a coarse part-of-speech tag.
+type Tag int
+
+// Coarse part-of-speech inventory. Proper nouns get Propn so the entity
+// tagger can prefer capitalised spans; everything the parser does not care
+// about collapses into Other.
+const (
+	Other Tag = iota
+	Noun
+	Propn
+	Verb
+	Adj
+	Adv
+	Det
+	Prep
+	Pron
+	Conj
+	Neg
+	Num
+	Punct
+	Aux
+	Mark // subordinating complementizer: that, because, while...
+)
+
+var tagNames = [...]string{
+	Other: "OTHER", Noun: "NOUN", Propn: "PROPN", Verb: "VERB", Adj: "ADJ",
+	Adv: "ADV", Det: "DET", Prep: "PREP", Pron: "PRON", Conj: "CONJ",
+	Neg: "NEG", Num: "NUM", Punct: "PUNCT", Aux: "AUX", Mark: "MARK",
+}
+
+// String returns the conventional upper-case tag name.
+func (t Tag) String() string {
+	if int(t) < len(tagNames) {
+		return tagNames[t]
+	}
+	return "OTHER"
+}
+
+// Lexicon maps word forms to their possible parts of speech (in preference
+// order) and exposes the closed word classes the parser and extractor need.
+type Lexicon struct {
+	entries map[string][]Tag
+
+	copulas     map[string]string // surface form -> lemma ("is" -> "be")
+	strictToBe  map[string]bool   // forms of "to be" only (pattern versions 3-4)
+	negations   map[string]bool
+	subjective  map[string]bool
+	antonyms    map[string][]string
+	typeNouns   map[string]bool // nouns naming entity types: city, animal...
+	opinionVerb map[string]bool // think, believe, find, consider...
+}
+
+// Lookup returns the possible tags for a word form (case-insensitive),
+// most preferred first.
+func (l *Lexicon) Lookup(word string) ([]Tag, bool) {
+	tags, ok := l.entries[strings.ToLower(word)]
+	return tags, ok
+}
+
+// PrimaryTag returns the preferred tag for a word, or Other if unknown.
+func (l *Lexicon) PrimaryTag(word string) Tag {
+	if tags, ok := l.Lookup(word); ok && len(tags) > 0 {
+		return tags[0]
+	}
+	return Other
+}
+
+// HasTag reports whether word can take the given tag.
+func (l *Lexicon) HasTag(word string, tag Tag) bool {
+	tags, _ := l.Lookup(word)
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCopula reports whether word is in the broad copula class (be, seem,
+// look, appear, become, remain, stay, feel, sound) used by extraction
+// pattern versions 1-2.
+func (l *Lexicon) IsCopula(word string) bool {
+	_, ok := l.copulas[strings.ToLower(word)]
+	return ok
+}
+
+// CopulaLemma returns the lemma of a copular verb form ("are" -> "be").
+func (l *Lexicon) CopulaLemma(word string) (string, bool) {
+	lemma, ok := l.copulas[strings.ToLower(word)]
+	return lemma, ok
+}
+
+// IsToBe reports whether word is a form of "to be" — the restricted verb
+// set of extraction pattern versions 3-4 (Appendix B).
+func (l *Lexicon) IsToBe(word string) bool {
+	return l.strictToBe[strings.ToLower(word)]
+}
+
+// IsNegation reports whether word is a negation token (not, n't, never,
+// no, hardly, ...).
+func (l *Lexicon) IsNegation(word string) bool {
+	return l.negations[strings.ToLower(word)]
+}
+
+// IsSubjectiveAdjective reports whether the adjective is in the subjective
+// inventory. Extraction does not require this (the paper extracts objective
+// adjectives too), but the corpus generator and some analyses use it.
+func (l *Lexicon) IsSubjectiveAdjective(adj string) bool {
+	return l.subjective[strings.ToLower(adj)]
+}
+
+// Antonyms returns the registered antonyms of an adjective. Per Section 4
+// of the paper, polarity detection deliberately does NOT use antonyms; the
+// table exists to document the decision and to support the corpus
+// generator's distractor sentences.
+func (l *Lexicon) Antonyms(adj string) []string {
+	return l.antonyms[strings.ToLower(adj)]
+}
+
+// IsTypeNoun reports whether the noun names an entity type (city, animal,
+// sport, ...) — used by the coreference heuristic for the adjectival
+// modifier pattern ("Snakes are dangerous animals").
+func (l *Lexicon) IsTypeNoun(noun string) bool {
+	return l.typeNouns[strings.ToLower(noun)]
+}
+
+// IsOpinionVerb reports whether the verb introduces an opinion clause
+// (think, believe, consider, find, ...).
+func (l *Lexicon) IsOpinionVerb(word string) bool {
+	return l.opinionVerb[strings.ToLower(word)]
+}
+
+// AddNoun registers additional noun forms (the knowledge base feeds its
+// entity names and type nouns in through this).
+func (l *Lexicon) AddNoun(word string, proper bool) {
+	key := strings.ToLower(word)
+	tag := Noun
+	if proper {
+		tag = Propn
+	}
+	for _, t := range l.entries[key] {
+		if t == tag {
+			return
+		}
+	}
+	l.entries[key] = append([]Tag{tag}, l.entries[key]...)
+}
+
+// AddTypeNoun registers a noun as naming an entity type.
+func (l *Lexicon) AddTypeNoun(word string) {
+	l.AddNoun(word, false)
+	l.typeNouns[strings.ToLower(word)] = true
+}
+
+// AddAdjective registers an extra adjective, optionally marking it
+// subjective and wiring antonym pairs symmetrically.
+func (l *Lexicon) AddAdjective(word string, subjective bool, antonyms ...string) {
+	key := strings.ToLower(word)
+	if !l.HasTag(key, Adj) {
+		l.entries[key] = append(l.entries[key], Adj)
+	}
+	if subjective {
+		l.subjective[key] = true
+	}
+	for _, a := range antonyms {
+		a = strings.ToLower(a)
+		l.antonyms[key] = appendUnique(l.antonyms[key], a)
+		l.antonyms[a] = appendUnique(l.antonyms[a], key)
+	}
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// SubjectiveAdjectives returns the sorted-order-independent list of all
+// registered subjective adjectives.
+func (l *Lexicon) SubjectiveAdjectives() []string {
+	out := make([]string, 0, len(l.subjective))
+	for a := range l.subjective {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package lexicon
+
+import "testing"
+
+func TestDefaultClosedClasses(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		word string
+		tag  Tag
+	}{
+		{"the", Det}, {"for", Prep}, {"and", Conj}, {"i", Pron},
+		{"not", Neg}, {"is", Verb}, {"very", Adv}, {"cute", Adj},
+		{"because", Mark}, {"do", Aux},
+	}
+	for _, c := range cases {
+		if !l.HasTag(c.word, c.tag) {
+			t.Errorf("%q should have tag %v", c.word, c.tag)
+		}
+	}
+}
+
+func TestCaseInsensitiveLookup(t *testing.T) {
+	l := Default()
+	if !l.HasTag("Cute", Adj) {
+		t.Error("lookup should be case-insensitive")
+	}
+	if !l.IsCopula("IS") {
+		t.Error("IsCopula should be case-insensitive")
+	}
+}
+
+func TestCopulaClasses(t *testing.T) {
+	l := Default()
+	for _, w := range []string{"is", "are", "was", "were", "be"} {
+		if !l.IsCopula(w) || !l.IsToBe(w) {
+			t.Errorf("%q should be copula and to-be", w)
+		}
+	}
+	for _, w := range []string{"seems", "looks", "became", "felt"} {
+		if !l.IsCopula(w) {
+			t.Errorf("%q should be in the broad copula class", w)
+		}
+		if l.IsToBe(w) {
+			t.Errorf("%q must not be a to-be form", w)
+		}
+	}
+	if l.IsCopula("runs") {
+		t.Error("runs is not a copula")
+	}
+}
+
+func TestCopulaLemma(t *testing.T) {
+	l := Default()
+	if lemma, ok := l.CopulaLemma("are"); !ok || lemma != "be" {
+		t.Errorf("CopulaLemma(are) = %q, %v", lemma, ok)
+	}
+	if lemma, ok := l.CopulaLemma("seemed"); !ok || lemma != "seem" {
+		t.Errorf("CopulaLemma(seemed) = %q, %v", lemma, ok)
+	}
+}
+
+func TestNegations(t *testing.T) {
+	l := Default()
+	for _, w := range []string{"not", "n't", "never", "no", "hardly"} {
+		if !l.IsNegation(w) {
+			t.Errorf("%q should be a negation", w)
+		}
+	}
+	if l.IsNegation("yes") {
+		t.Error("yes is not a negation")
+	}
+}
+
+func TestSubjectiveInventoryCoversTable2(t *testing.T) {
+	l := Default()
+	table2 := []string{
+		"dangerous", "cute", "big", "friendly", "deadly",
+		"cool", "crazy", "pretty", "quiet", "young",
+		"calm", "cheap", "hectic", "multicultural",
+		"exciting", "rare", "solid", "vital",
+		"addictive", "boring", "fast", "popular",
+	}
+	for _, p := range table2 {
+		if !l.IsSubjectiveAdjective(p) {
+			t.Errorf("Table 2 property %q missing from subjective inventory", p)
+		}
+	}
+}
+
+func TestObjectiveAdjectivesNotSubjective(t *testing.T) {
+	l := Default()
+	for _, w := range []string{"american", "southern", "swiss"} {
+		if !l.HasTag(w, Adj) {
+			t.Errorf("%q should be an adjective", w)
+		}
+		if l.IsSubjectiveAdjective(w) {
+			t.Errorf("%q should not be subjective", w)
+		}
+	}
+}
+
+func TestAntonymsSymmetric(t *testing.T) {
+	l := Default()
+	pairs := [][2]string{{"big", "small"}, {"safe", "dangerous"}, {"cheap", "expensive"}}
+	for _, p := range pairs {
+		if !contains(l.Antonyms(p[0]), p[1]) {
+			t.Errorf("Antonyms(%q) missing %q", p[0], p[1])
+		}
+		if !contains(l.Antonyms(p[1]), p[0]) {
+			t.Errorf("Antonyms(%q) missing %q", p[1], p[0])
+		}
+	}
+}
+
+func TestTypeNouns(t *testing.T) {
+	l := Default()
+	for _, w := range []string{"city", "cities", "animal", "sport"} {
+		if !l.IsTypeNoun(w) {
+			t.Errorf("%q should be a type noun", w)
+		}
+	}
+	if l.IsTypeNoun("parking") {
+		t.Error("parking is not a type noun")
+	}
+}
+
+func TestOpinionVerbs(t *testing.T) {
+	l := Default()
+	for _, w := range []string{"think", "believe", "consider", "find"} {
+		if !l.IsOpinionVerb(w) {
+			t.Errorf("%q should be an opinion verb", w)
+		}
+	}
+	if l.IsOpinionVerb("visit") {
+		t.Error("visit is not an opinion verb")
+	}
+}
+
+func TestAddNoun(t *testing.T) {
+	l := Default()
+	l.AddNoun("Zurich", true)
+	if !l.HasTag("zurich", Propn) {
+		t.Error("AddNoun proper should register Propn")
+	}
+	// Idempotent.
+	l.AddNoun("Zurich", true)
+	tags, _ := l.Lookup("zurich")
+	count := 0
+	for _, tg := range tags {
+		if tg == Propn {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("duplicate Propn tags after repeated AddNoun: %v", tags)
+	}
+}
+
+func TestAddAdjectiveWiresAntonyms(t *testing.T) {
+	l := Default()
+	l.AddAdjective("spiffy", true, "shabby")
+	if !l.IsSubjectiveAdjective("spiffy") {
+		t.Error("spiffy should be subjective")
+	}
+	if !contains(l.Antonyms("shabby"), "spiffy") {
+		t.Error("antonym wiring should be symmetric")
+	}
+}
+
+func TestPrimaryTagUnknown(t *testing.T) {
+	l := Default()
+	if got := l.PrimaryTag("xyzzyqwerty"); got != Other {
+		t.Errorf("unknown word tag = %v, want Other", got)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Adj.String() != "ADJ" || Noun.String() != "NOUN" {
+		t.Error("Tag.String mismatch")
+	}
+	if Tag(99).String() != "OTHER" {
+		t.Error("out-of-range tag should stringify as OTHER")
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,168 @@
+// Package pos implements the part-of-speech tagger of the Surveyor NLP
+// substrate: lexicon lookup with contextual disambiguation rules, plus
+// suffix and capitalisation heuristics for out-of-vocabulary words.
+package pos
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/token"
+)
+
+// Tagged pairs a token with its resolved part of speech.
+type Tagged struct {
+	token.Token
+	Tag lexicon.Tag
+}
+
+// Tagger assigns parts of speech using a lexicon plus heuristics.
+type Tagger struct {
+	lex *lexicon.Lexicon
+}
+
+// New returns a tagger over the given lexicon.
+func New(lex *lexicon.Lexicon) *Tagger {
+	return &Tagger{lex: lex}
+}
+
+// Tag tags a full sentence. Ambiguous lexicon entries are resolved with
+// local context; unknown words fall back to suffix and shape heuristics.
+func (tg *Tagger) Tag(sent token.Sentence) []Tagged {
+	out := make([]Tagged, len(sent.Tokens))
+	for i, tok := range sent.Tokens {
+		out[i] = Tagged{Token: tok, Tag: tg.tagOne(sent.Tokens, i)}
+	}
+	tg.contextPass(out)
+	return out
+}
+
+func (tg *Tagger) tagOne(toks []token.Token, i int) lexicon.Tag {
+	word := toks[i].Text
+	lower := strings.ToLower(word)
+
+	if tags, ok := tg.lex.Lookup(lower); ok && len(tags) > 0 {
+		return tg.disambiguate(toks, i, tags)
+	}
+	return tg.guess(toks, i, word, lower)
+}
+
+// disambiguate picks among a word's possible lexicon tags using local
+// context. The preference order of the lexicon is the fallback.
+func (tg *Tagger) disambiguate(toks []token.Token, i int, tags []lexicon.Tag) lexicon.Tag {
+	has := func(want lexicon.Tag) bool {
+		for _, t := range tags {
+			if t == want {
+				return true
+			}
+		}
+		return false
+	}
+	next := func() string {
+		if i+1 < len(toks) {
+			return strings.ToLower(toks[i+1].Text)
+		}
+		return ""
+	}
+	prev := func() string {
+		if i > 0 {
+			return strings.ToLower(toks[i-1].Text)
+		}
+		return ""
+	}
+
+	// "that": complementizer after a verb ("think that ..."), determiner
+	// directly before a common noun ("that city"), otherwise Mark.
+	if has(lexicon.Det) && has(lexicon.Mark) {
+		p := prev()
+		if tg.lex.HasTag(p, lexicon.Verb) {
+			return lexicon.Mark
+		}
+		n := next()
+		if tg.lex.HasTag(n, lexicon.Noun) && !tg.lex.HasTag(n, lexicon.Propn) {
+			return lexicon.Det
+		}
+		return lexicon.Mark
+	}
+	// Adjective/adverb ambiguity ("pretty", "fast"): adverb when directly
+	// preceding an adjective or adverb, adjective otherwise.
+	if has(lexicon.Adj) && has(lexicon.Adv) {
+		n := next()
+		if tg.lex.HasTag(n, lexicon.Adj) || tg.lex.HasTag(n, lexicon.Adv) {
+			return lexicon.Adv
+		}
+		return lexicon.Adj
+	}
+	// Verb/noun ambiguity ("visit", "play"): noun after a determiner or
+	// adjective, verb otherwise.
+	if has(lexicon.Verb) && has(lexicon.Noun) {
+		p := prev()
+		if tg.lex.HasTag(p, lexicon.Det) || tg.lex.HasTag(p, lexicon.Adj) {
+			return lexicon.Noun
+		}
+		return lexicon.Verb
+	}
+	// Aux/verb: "do"/"have" are auxiliaries when followed by a negation or
+	// another verb, main verbs otherwise.
+	if has(lexicon.Aux) {
+		n := next()
+		if tg.lex.IsNegation(n) || tg.lex.HasTag(n, lexicon.Verb) || tg.lex.HasTag(n, lexicon.Pron) {
+			return lexicon.Aux
+		}
+	}
+	return tags[0]
+}
+
+// guess handles out-of-vocabulary words with shape and suffix heuristics.
+func (tg *Tagger) guess(toks []token.Token, i int, word, lower string) lexicon.Tag {
+	r := rune(word[0])
+	if r >= '0' && r <= '9' {
+		return lexicon.Num
+	}
+	if !unicode.IsLetter(r) {
+		return lexicon.Punct
+	}
+	// Capitalised mid-sentence (or anywhere): proper noun. At sentence
+	// start only if the lexicon truly does not know the lower-case form —
+	// which is already the case here.
+	if unicode.IsUpper(r) {
+		return lexicon.Propn
+	}
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return lexicon.Adv
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "ish"),
+		strings.HasSuffix(lower, "less"), strings.HasSuffix(lower, "esque"),
+		strings.HasSuffix(lower, "ic"):
+		return lexicon.Adj
+	case strings.HasSuffix(lower, "ing"), strings.HasSuffix(lower, "ed"):
+		// Participles after a copula act adjectivally ("is crowded");
+		// before a noun as well ("a crowded city"). Treat as verb only in
+		// clear verbal position (after an auxiliary or pronoun subject).
+		if i > 0 {
+			p := strings.ToLower(toks[i-1].Text)
+			if tg.lex.HasTag(p, lexicon.Aux) || tg.lex.HasTag(p, lexicon.Pron) {
+				return lexicon.Verb
+			}
+			if tg.lex.IsCopula(p) || tg.lex.HasTag(p, lexicon.Adv) || tg.lex.HasTag(p, lexicon.Det) {
+				return lexicon.Adj
+			}
+		}
+		return lexicon.Verb
+	default:
+		return lexicon.Noun
+	}
+}
+
+// contextPass applies whole-sentence corrections after first-pass tagging.
+func (tg *Tagger) contextPass(out []Tagged) {
+	for i := range out {
+		// A noun between a copula/adverb and another adjective is likely a
+		// mis-tagged adjective; we leave this conservative for now — the
+		// parser tolerates noun-tagged adjectives in predicate position.
+		_ = i
+	}
+}

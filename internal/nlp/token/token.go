@@ -1,0 +1,167 @@
+// Package token implements the tokenizer and sentence splitter of the
+// Surveyor NLP substrate. Offsets into the original text are preserved so
+// entity mentions can be mapped back to their source.
+package token
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single token with its position in the source text.
+type Token struct {
+	Text  string // surface form as it appeared (contractions split: "n't")
+	Start int    // byte offset of the first byte in the source
+	End   int    // byte offset one past the last byte
+}
+
+// Lower returns the lower-cased surface form.
+func (t Token) Lower() string { return strings.ToLower(t.Text) }
+
+// Sentence is a contiguous span of tokens.
+type Sentence struct {
+	Tokens []Token
+	Start  int // byte offset of the sentence in the source
+	End    int
+}
+
+// Text reconstructs an approximate surface string (single spaces between
+// tokens); intended for diagnostics, not round-tripping.
+func (s Sentence) Text() string {
+	parts := make([]string, len(s.Tokens))
+	for i, t := range s.Tokens {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// Common abbreviations that do not end a sentence.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"st": true, "mt": true, "vs": true, "etc": true, "inc": true,
+	"jr": true, "sr": true, "e.g": true, "i.e": true, "approx": true,
+	"no": true, "vol": true, "fig": true,
+}
+
+// Tokenize splits text into tokens. Rules:
+//   - runs of letters/digits form words;
+//   - negative contractions are split into stem + "n't" ("don't" -> "do",
+//     "n't"); other apostrophe clitics ("'s", "'re") are split off;
+//   - each punctuation rune is its own token;
+//   - hyphenated words stay together ("well-known").
+func Tokenize(text string) []Token {
+	var toks []Token
+	i := 0
+	n := len(text)
+	for i < n {
+		r := rune(text[i])
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			i++
+		case isWordByte(text[i]):
+			j := i
+			for j < n && (isWordByte(text[j]) || isInnerByte(text, j)) {
+				j++
+			}
+			word := text[i:j]
+			toks = append(toks, splitClitics(word, i)...)
+			i = j
+		default:
+			toks = append(toks, Token{Text: string(text[i]), Start: i, End: i + 1})
+			i++
+		}
+	}
+	return toks
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// isInnerByte allows apostrophes, hyphens, and periods inside a word when
+// flanked by word bytes ("don't", "well-known", "U.S").
+func isInnerByte(text string, j int) bool {
+	b := text[j]
+	if b != '\'' && b != '-' && b != '.' {
+		return false
+	}
+	return j > 0 && isWordByte(text[j-1]) && j+1 < len(text) && isWordByte(text[j+1])
+}
+
+// splitClitics breaks apostrophe clitics off a word, keeping byte offsets
+// consistent with the source.
+func splitClitics(word string, start int) []Token {
+	lower := strings.ToLower(word)
+	// Trailing sentence-internal period stays ("U.S." keeps its inner dots
+	// by isInnerByte; a trailing one never reaches here).
+	if idx := strings.LastIndex(lower, "n't"); idx > 0 && idx == len(lower)-3 {
+		stem := word[:idx]
+		if lower[:idx] == "ca" { // can't -> can + n't
+			stem = word[:2] + "n"
+		}
+		if lower[:idx] == "wo" { // won't -> will + n't
+			stem = "will"
+		}
+		return []Token{
+			{Text: stem, Start: start, End: start + idx},
+			{Text: "n't", Start: start + idx, End: start + len(word)},
+		}
+	}
+	for _, clitic := range []string{"'s", "'re", "'ve", "'ll", "'d", "'m"} {
+		if strings.HasSuffix(lower, clitic) && len(word) > len(clitic) {
+			cut := len(word) - len(clitic)
+			return []Token{
+				{Text: word[:cut], Start: start, End: start + cut},
+				{Text: word[cut:], Start: start + cut, End: start + len(word)},
+			}
+		}
+	}
+	return []Token{{Text: word, Start: start, End: start + len(word)}}
+}
+
+// SplitSentences tokenizes text and groups the tokens into sentences.
+// Sentence boundaries are ".", "!", "?" tokens, except after known
+// abbreviations or single capital letters ("J. Smith").
+func SplitSentences(text string) []Sentence {
+	toks := Tokenize(text)
+	var sents []Sentence
+	begin := 0
+	for i := range toks {
+		if !isSentenceEnd(toks, i) {
+			continue
+		}
+		if i+1 > begin {
+			sents = append(sents, makeSentence(toks[begin:i+1]))
+		}
+		begin = i + 1
+	}
+	if begin < len(toks) {
+		sents = append(sents, makeSentence(toks[begin:]))
+	}
+	return sents
+}
+
+func isSentenceEnd(toks []Token, i int) bool {
+	t := toks[i].Text
+	if t != "." && t != "!" && t != "?" {
+		return false
+	}
+	if t == "." && i > 0 {
+		prev := strings.ToLower(toks[i-1].Text)
+		prev = strings.TrimSuffix(prev, ".")
+		if abbreviations[prev] {
+			return false
+		}
+		// Single capital letter: an initial, not a sentence end.
+		if len(toks[i-1].Text) == 1 && unicode.IsUpper(rune(toks[i-1].Text[0])) {
+			return false
+		}
+	}
+	return true
+}
+
+func makeSentence(toks []Token) Sentence {
+	cp := make([]Token, len(toks))
+	copy(cp, toks)
+	return Sentence{Tokens: cp, Start: cp[0].Start, End: cp[len(cp)-1].End}
+}

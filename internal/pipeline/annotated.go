@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+)
+
+// Annotate runs the NLP front end over the corpus in parallel, producing
+// the annotated-snapshot representation the paper's extraction consumes.
+// Use RunAnnotated to extract from the result — repeatedly, e.g. for the
+// Table-4 pattern-version sweep, without re-parsing.
+func Annotate(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, workers int) []annotate.Document {
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	annotator := annotate.New(base, lex)
+	out := make([]annotate.Document, len(docs))
+	var wg sync.WaitGroup
+	chunk := (len(docs) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(docs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = annotator.Annotate(docs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// RunAnnotated executes extraction, grouping, and per-group EM over an
+// already-annotated corpus. Results are identical to Run over the raw
+// documents with the same configuration.
+func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Documents: len(docs)}
+
+	start := time.Now()
+	store := evidence.NewStore()
+	extractor := extract.NewVersion(lex, cfg.Version)
+	var sentences atomic.Int64
+
+	var wg sync.WaitGroup
+	chunk := (len(docs) + cfg.Workers - 1) / cfg.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(docs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		wg.Add(1)
+		go func(shard []annotate.Document) {
+			defer wg.Done()
+			local := int64(0)
+			for di := range shard {
+				for si := range shard[di].Sentence {
+					s := &shard[di].Sentence[si]
+					local++
+					if s.Tree == nil || len(s.Mentions) == 0 {
+						continue
+					}
+					for _, st := range extractor.Extract(s.Tree, s.Mentions) {
+						store.Add(st)
+					}
+				}
+			}
+			sentences.Add(local)
+		}(docs[lo:hi])
+	}
+	wg.Wait()
+	res.Store = store
+	res.Sentences = sentences.Load()
+	res.TotalStatements = store.TotalStatements()
+	res.DistinctPairs = store.Len()
+	res.Timings.Extraction = time.Since(start)
+
+	finishRun(res, base, cfg)
+	return res
+}
+
+// RunFromStore executes grouping and modelling over pre-aggregated
+// evidence counters — the counts-only entry point for callers with their
+// own extraction, and for evidence-level transformations such as antonym
+// folding.
+func RunFromStore(store *evidence.Store, base *kb.KB, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		Store:           store,
+		TotalStatements: store.TotalStatements(),
+		DistinctPairs:   store.Len(),
+	}
+	finishRun(res, base, cfg)
+	return res
+}
+
+// finishRun performs the grouping and EM phases shared by Run and
+// RunAnnotated, then builds the lookup index.
+func finishRun(res *Result, base *kb.KB, cfg Config) {
+	start := time.Now()
+	res.PairsBeforeFilter = evidence.CountGroups(res.Store, base)
+	groups := evidence.GroupByTypeProperty(res.Store, base, cfg.Rho)
+	res.Timings.Grouping = time.Since(start)
+
+	start = time.Now()
+	res.Groups = make([]GroupResult, len(groups))
+	sem := make(chan struct{}, cfg.Workers)
+	var emWG sync.WaitGroup
+	for gi := range groups {
+		emWG.Add(1)
+		sem <- struct{}{}
+		go func(gi int) {
+			defer emWG.Done()
+			defer func() { <-sem }()
+			g := groups[gi]
+			tuples := make([]core.Tuple, len(g.Entities))
+			for i, ec := range g.Entities {
+				tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
+			}
+			model, results, trace := core.FitAndClassify(tuples, cfg.EM)
+			gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
+				Entities: make([]EntityOpinion, len(g.Entities))}
+			for i, ec := range g.Entities {
+				gr.Entities[i] = EntityOpinion{
+					Entity:      ec.Entity,
+					Pos:         ec.Pos,
+					Neg:         ec.Neg,
+					Probability: results[i].Probability,
+					Opinion:     results[i].Opinion,
+				}
+			}
+			res.Groups[gi] = gr
+		}(gi)
+	}
+	emWG.Wait()
+	res.Timings.EM = time.Since(start)
+
+	res.index = map[opinionKey]*EntityOpinion{}
+	for gi := range res.Groups {
+		g := &res.Groups[gi]
+		for i := range g.Entities {
+			res.index[opinionKey{g.Entities[i].Entity, g.Key.Property}] = &g.Entities[i]
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package pipeline orchestrates the full Surveyor dataflow of Algorithm 1:
+// parallel evidence extraction over document shards (the map step the paper
+// ran on up to 5000 nodes), evidence grouping by (type, property) with the
+// occurrence threshold ρ (the reduce step), per-group EM fitting, and
+// classification of every knowledge-base entity — including entities with
+// no evidence at all. Per-phase timings are recorded for the Section-7.1
+// analysis.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/nlp/depparse"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/pos"
+	"repro/internal/nlp/token"
+	"repro/internal/tagger"
+)
+
+// Config controls a pipeline run.
+type Config struct {
+	// Workers is the extraction/EM parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Rho is the minimum number of statements a (type, property) pair
+	// needs to be modelled (the paper used 100).
+	Rho int64
+	// Version selects the extraction pattern version (default V4).
+	Version extract.Version
+	// EM configures the per-group fit.
+	EM core.EMConfig
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.Rho == 0 {
+		c.Rho = 100
+	}
+	if c.Version == 0 {
+		c.Version = extract.V4
+	}
+	if c.EM.MaxIterations == 0 {
+		c.EM = core.DefaultEMConfig()
+	}
+	return c
+}
+
+// EntityOpinion is the classified dominant opinion for one entity under
+// one (type, property) group.
+type EntityOpinion struct {
+	Entity      kb.EntityID
+	Pos, Neg    int64
+	Probability float64
+	Opinion     core.Opinion
+}
+
+// GroupResult is the fitted model and per-entity classification of one
+// (type, property) combination.
+type GroupResult struct {
+	Key      evidence.GroupKey
+	Model    core.Model
+	Trace    core.Trace
+	Entities []EntityOpinion
+}
+
+// Timings holds per-phase wall-clock durations (Section 7.1 reports these
+// for the production run).
+type Timings struct {
+	Extraction time.Duration
+	Grouping   time.Duration
+	EM         time.Duration
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	Store *evidence.Store
+	// Groups holds one entry per modelled (type, property) pair.
+	Groups []GroupResult
+	// TotalStatements counts extracted evidence statements.
+	TotalStatements int64
+	// DistinctPairs counts distinct (entity, property) pairs with evidence
+	// (the "60 million entity-property combinations" statistic).
+	DistinctPairs int
+	// PairsBeforeFilter counts distinct (type, property) pairs before the
+	// ρ filter (the "7 million" statistic); len(Groups) is the after.
+	PairsBeforeFilter int
+	// Sentences and Documents count the parsed input.
+	Sentences int64
+	Documents int
+	Timings   Timings
+
+	index map[opinionKey]*EntityOpinion
+}
+
+type opinionKey struct {
+	entity   kb.EntityID
+	property string
+}
+
+// Opinion looks up the classification of an entity-property pair. The
+// boolean is false when the pair's group was never modelled.
+func (r *Result) Opinion(e kb.EntityID, property string) (EntityOpinion, bool) {
+	op, ok := r.index[opinionKey{e, property}]
+	if !ok {
+		return EntityOpinion{}, false
+	}
+	return *op, true
+}
+
+// Group returns the result for a (type, property) pair, if modelled.
+func (r *Result) Group(typ, property string) (*GroupResult, bool) {
+	for i := range r.Groups {
+		if r.Groups[i].Key.Type == typ && r.Groups[i].Key.Property == property {
+			return &r.Groups[i], true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the full pipeline over the documents.
+func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Documents: len(docs)}
+
+	// Phase 1: parallel extraction (map).
+	start := time.Now()
+	store := evidence.NewStore()
+	var sentences atomic.Int64
+	posTagger := pos.New(lex)
+	parser := depparse.New(lex)
+	entTagger := tagger.New(base, lex)
+	extractor := extract.NewVersion(lex, cfg.Version)
+
+	var wg sync.WaitGroup
+	chunk := (len(docs) + cfg.Workers - 1) / cfg.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(docs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		wg.Add(1)
+		go func(shard []corpus.Document) {
+			defer wg.Done()
+			local := int64(0)
+			for _, doc := range shard {
+				for _, sent := range token.SplitSentences(doc.Text) {
+					local++
+					tagged := posTagger.Tag(sent)
+					mentions := entTagger.Tag(tagged)
+					if len(mentions) == 0 {
+						continue // no entity, nothing to extract
+					}
+					tree := parser.Parse(tagged)
+					for _, st := range extractor.Extract(tree, mentions) {
+						store.Add(st)
+					}
+				}
+			}
+			sentences.Add(local)
+		}(docs[lo:hi])
+	}
+	wg.Wait()
+	res.Store = store
+	res.Sentences = sentences.Load()
+	res.TotalStatements = store.TotalStatements()
+	res.DistinctPairs = store.Len()
+	res.Timings.Extraction = time.Since(start)
+
+	// Phases 2-3 (grouping, EM) and the lookup index are shared with
+	// RunAnnotated.
+	finishRun(res, base, cfg)
+	return res
+}

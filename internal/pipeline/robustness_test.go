@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// TestPipelineSurvivesGarbageInput is the failure-injection test: the
+// pipeline must neither panic nor fabricate evidence when fed degenerate
+// or adversarial documents.
+func TestPipelineSurvivesGarbageInput(t *testing.T) {
+	base, lex, _ := world(t, 0.1)
+	rng := stats.NewRNG(1234)
+
+	garbage := []corpus.Document{
+		{Text: ""},
+		{Text: "     \n\t  "},
+		{Text: "...!!!???,,,;;;"},
+		{Text: strings.Repeat("a ", 500)},
+		{Text: strings.Repeat("kitten ", 200)},                // entity spam, no predicates
+		{Text: "is is is is are are not not never never"},     // function-word soup
+		{Text: "cute cute cute cute"},                         // adjective soup, no entity
+		{Text: "Kittens Kittens Kittens are are cute cute."},  // stutter
+		{Text: "kitten spider kitten spider kitten spider"},   // bare mention list
+		{Text: "The the a an and or but not kitten."},         //
+		{Text: "Kittens are cute" + strings.Repeat("!", 100)}, // punctuation flood
+		{Text: "I DON'T THINK THAT KITTENS ARE NEVER CUTE."},  // all caps
+	}
+	// Random token salad drawn from the lexicon's word classes.
+	words := []string{"kitten", "is", "not", "cute", "the", "a", "and",
+		"for", "very", "never", "I", "think", "that", ",", ".", "spider"}
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(30)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		garbage = append(garbage, corpus.Document{Text: strings.Join(parts, " ")})
+	}
+
+	res := Run(garbage, base, lex, Config{Rho: 1})
+	if res.Documents != len(garbage) {
+		t.Fatalf("documents = %d", res.Documents)
+	}
+	// The stutter/caps documents may legitimately yield a handful of
+	// statements; the bulk of the garbage must yield nothing.
+	if res.TotalStatements > 40 {
+		t.Fatalf("garbage produced %d statements", res.TotalStatements)
+	}
+}
+
+// TestPipelineMixedGarbageAndSignal verifies that garbage mixed into a
+// real corpus does not change the decisions.
+func TestPipelineMixedGarbageAndSignal(t *testing.T) {
+	base, lex, snap := world(t, 1)
+	clean := Run(snap.Documents, base, lex, Config{Rho: 20})
+
+	mixed := append([]corpus.Document{}, snap.Documents...)
+	for i := 0; i < 100; i++ {
+		mixed = append(mixed, corpus.Document{Text: "!!! ??? ,,, the the the"})
+	}
+	dirty := Run(mixed, base, lex, Config{Rho: 20})
+
+	gc, ok1 := clean.Group("animal", "cute")
+	gd, ok2 := dirty.Group("animal", "cute")
+	if !ok1 || !ok2 {
+		t.Fatal("group missing")
+	}
+	for i := range gc.Entities {
+		if gc.Entities[i].Opinion != gd.Entities[i].Opinion {
+			t.Fatalf("garbage changed the opinion of entity %d", i)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package tagger implements entity mention detection and disambiguation
+// over tokenized sentences — the substitute for the entity annotations the
+// paper's web snapshot came pre-processed with.
+//
+// Linking is greedy longest-match over an alias index, with a
+// disambiguation step: candidates are scored by type context (does the
+// sentence mention the entity's type noun?) and prominence; unresolvable
+// mentions are dropped, prioritising precision over recall exactly as the
+// paper's extraction design does (Section 2 discarded 11 of 23
+// high-traffic city names for ambiguity).
+package tagger
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/pos"
+)
+
+// Mention links a token span [Start,End) to a knowledge-base entity.
+type Mention struct {
+	Entity kb.EntityID
+	Start  int // first token index
+	End    int // one past the last token index
+	Head   int // syntactic head token of the span (its last token)
+}
+
+// Covers reports whether the mention span contains token index i.
+func (m Mention) Covers(i int) bool { return i >= m.Start && i < m.End }
+
+// Tagger links entity mentions. It is immutable after construction and
+// safe for concurrent use.
+type Tagger struct {
+	kb     *kb.KB
+	lex    *lexicon.Lexicon
+	window int
+}
+
+// New builds a tagger over the given knowledge base and lexicon.
+func New(base *kb.KB, lex *lexicon.Lexicon) *Tagger {
+	return &Tagger{kb: base, lex: lex, window: base.MaxAliasTokens()}
+}
+
+// Tag scans a tagged sentence left to right with greedy longest-match and
+// returns the resolved, non-overlapping mentions in order.
+func (t *Tagger) Tag(tagged []pos.Tagged) []Mention {
+	var mentions []Mention
+	i := 0
+	for i < len(tagged) {
+		m, ok := t.matchAt(tagged, i)
+		if !ok {
+			i++
+			continue
+		}
+		mentions = append(mentions, m)
+		i = m.End
+	}
+	return mentions
+}
+
+// matchAt tries to link a mention starting at token i, longest span first.
+func (t *Tagger) matchAt(tagged []pos.Tagged, i int) (Mention, bool) {
+	maxLen := t.window
+	if rest := len(tagged) - i; rest < maxLen {
+		maxLen = rest
+	}
+	for n := maxLen; n >= 1; n-- {
+		if !plausibleSpan(tagged[i : i+n]) {
+			continue
+		}
+		surface := joinTokens(tagged[i : i+n])
+		cands := t.kb.Candidates(surface)
+		if len(cands) == 0 {
+			continue
+		}
+		if id, ok := t.resolve(tagged, cands, tagged[i:i+n]); ok {
+			return Mention{Entity: id, Start: i, End: i + n, Head: i + n - 1}, true
+		}
+		// A matching surface that cannot be resolved blocks shorter
+		// sub-spans too ("San Francisco" failing must not link "San").
+		return Mention{}, false
+	}
+	return Mention{}, false
+}
+
+// plausibleSpan rejects spans that cannot be a name: punctuation or verbs
+// inside, which keeps the n-gram probing cheap and precise.
+func plausibleSpan(span []pos.Tagged) bool {
+	for _, tok := range span {
+		switch tok.Tag {
+		case lexicon.Punct, lexicon.Verb, lexicon.Aux, lexicon.Prep,
+			lexicon.Conj, lexicon.Neg, lexicon.Mark:
+			return false
+		}
+	}
+	return true
+}
+
+func joinTokens(span []pos.Tagged) string {
+	parts := make([]string, len(span))
+	for i, tok := range span {
+		parts[i] = tok.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// resolve picks one entity among the candidates, or fails.
+func (t *Tagger) resolve(tagged []pos.Tagged, cands []kb.EntityID, span []pos.Tagged) (kb.EntityID, bool) {
+	type scored struct {
+		id    kb.EntityID
+		score float64
+	}
+	var best, second scored
+	best.score, second.score = -1, -1
+	for _, id := range cands {
+		e := t.kb.Get(id)
+		if e.Proper && !startsUpper(span[0].Text) {
+			continue // proper names must be capitalised in text
+		}
+		score := 0.0
+		if t.typeContext(tagged, e.Type) {
+			score += 2
+		}
+		score += e.Attr("prominence", 0.5)
+		if e.Ambiguous {
+			// Ambiguous names need explicit type context to link at all.
+			if !t.typeContext(tagged, e.Type) {
+				continue
+			}
+			score -= 0.25
+		}
+		if score > best.score {
+			second = best
+			best = scored{id, score}
+		} else if score > second.score {
+			second = scored{id, score}
+		}
+	}
+	if best.score < 0 {
+		return 0, false
+	}
+	// Require a clear winner; near-ties are disambiguation failures.
+	if second.score >= 0 && best.score-second.score < 0.05 {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// typeContext reports whether the sentence mentions the type noun
+// (singular or plural) of the given entity type.
+func (t *Tagger) typeContext(tagged []pos.Tagged, typ string) bool {
+	plural := strings.ToLower(kb.Pluralize(typ))
+	typ = strings.ToLower(typ)
+	for _, tok := range tagged {
+		w := tok.Lower()
+		if w == typ || w == plural {
+			return true
+		}
+	}
+	return false
+}
+
+func startsUpper(s string) bool {
+	if s == "" {
+		return false
+	}
+	return unicode.IsUpper(rune(s[0]))
+}

@@ -1,0 +1,219 @@
+// Package threshold implements the paper's Section-9 future-work
+// direction: connecting subjective properties to objective ones by
+// learning, from the mined opinions, the attribute bound from which the
+// average user applies the property — e.g. "a lower bound on the
+// population count of a city starting from which an average user would
+// call that city big".
+//
+// The learner takes the per-entity opinions produced by the model and an
+// objective attribute from the knowledge base, and finds the threshold
+// (and direction) that best separates positive from negative opinions,
+// with a confidence estimate. The paper suggests such rules can then
+// improve precision and coverage for correlated properties; Refine
+// implements that feedback step.
+package threshold
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Direction states which side of the threshold the property applies to.
+type Direction int
+
+// Direction values.
+const (
+	Above Direction = +1 // property applies for attribute >= threshold
+	Below Direction = -1 // property applies for attribute < threshold
+)
+
+func (d Direction) String() string {
+	if d == Above {
+		return ">="
+	}
+	return "<"
+}
+
+// Rule is a learned subjective-to-objective connection.
+type Rule struct {
+	Threshold float64
+	Direction Direction
+	// Agreement is the fraction of decided entities consistent with the
+	// rule — the rule's training accuracy.
+	Agreement float64
+	// Support is the number of decided entities the rule was fitted on.
+	Support int
+	// Correlation is the point-biserial-style Spearman correlation between
+	// opinion polarity and the attribute; weakly correlated attributes
+	// (|corr| < 0.2) should not be trusted even if agreement looks high.
+	Correlation float64
+}
+
+// Usable reports whether the rule is strong enough to act on (the
+// feedback loop of the paper's outlook). The defaults are deliberately
+// conservative: 80% agreement on at least 10 entities.
+func (r Rule) Usable() bool {
+	return r.Support >= 10 && r.Agreement >= 0.8 && math.Abs(r.Correlation) >= 0.2
+}
+
+// Learn fits the best single-threshold rule from per-entity attributes
+// and opinions (unsolved opinions are ignored). It returns false when
+// fewer than 4 decided entities exist or all decided opinions agree
+// (no boundary to find).
+func Learn(attrs []float64, opinions []core.Opinion) (Rule, bool) {
+	var pts []point
+	for i, op := range opinions {
+		if i >= len(attrs) || op == core.OpinionUnsolved {
+			continue
+		}
+		pts = append(pts, point{attrs[i], op == core.OpinionPositive})
+	}
+	if len(pts) < 4 {
+		return Rule{}, false
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].attr < pts[b].attr })
+
+	totalPos := 0
+	for _, p := range pts {
+		if p.pos {
+			totalPos++
+		}
+	}
+	if totalPos == 0 || totalPos == len(pts) {
+		return Rule{}, false
+	}
+
+	// Prefix positives: posBelow[k] = positives among pts[0:k].
+	n := len(pts)
+	posBelow := make([]int, n+1)
+	for i, p := range pts {
+		posBelow[i+1] = posBelow[i]
+		if p.pos {
+			posBelow[i+1]++
+		}
+	}
+
+	best := Rule{Agreement: -1}
+	// Candidate cut k: threshold between pts[k-1] and pts[k]. k in [1, n-1]
+	// so both sides are non-empty; skip cuts between equal attributes.
+	for k := 1; k < n; k++ {
+		if pts[k].attr == pts[k-1].attr {
+			continue
+		}
+		// Direction Above: positives at/above the cut, negatives below.
+		correctAbove := (k - posBelow[k]) + (totalPos - posBelow[k])
+		// Direction Below: the complement.
+		correctBelow := n - correctAbove
+		cut := (pts[k-1].attr + pts[k].attr) / 2
+		if acc := float64(correctAbove) / float64(n); acc > best.Agreement {
+			best = Rule{Threshold: cut, Direction: Above, Agreement: acc, Support: n}
+		}
+		if acc := float64(correctBelow) / float64(n); acc > best.Agreement {
+			best = Rule{Threshold: cut, Direction: Below, Agreement: acc, Support: n}
+		}
+	}
+	if best.Agreement < 0 {
+		return Rule{}, false
+	}
+	best.Correlation = polaritySpearman(pts)
+	return best, true
+}
+
+// Applies evaluates the rule on one attribute value.
+func (r Rule) Applies(attr float64) bool {
+	if r.Direction == Above {
+		return attr >= r.Threshold
+	}
+	return attr < r.Threshold
+}
+
+// Refine implements the paper's suggested feedback: entities whose model
+// decision is uncertain (posterior within margin of ½) or unsolved are
+// re-decided by a usable rule. Returns the refined opinions and the
+// number of changes.
+func Refine(rule Rule, attrs []float64, probs []float64, margin float64) ([]core.Opinion, int) {
+	out := make([]core.Opinion, len(probs))
+	changed := 0
+	for i, p := range probs {
+		op := core.Decide(p)
+		if rule.Usable() && i < len(attrs) && math.Abs(p-0.5) <= margin {
+			var ruled core.Opinion
+			if rule.Applies(attrs[i]) {
+				ruled = core.OpinionPositive
+			} else {
+				ruled = core.OpinionNegative
+			}
+			if ruled != op {
+				changed++
+			}
+			op = ruled
+		}
+		out[i] = op
+	}
+	return out, changed
+}
+
+// point is one decided entity.
+type point struct {
+	attr float64
+	pos  bool
+}
+
+// polaritySpearman computes a rank correlation between attribute and
+// opinion polarity over the decided points.
+func polaritySpearman(pts []point) float64 {
+	n := len(pts)
+	if n == 0 {
+		return 0
+	}
+	// pts are sorted by attr; use average ranks for ties.
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && pts[j+1].attr == pts[i].attr {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[k] = avg
+		}
+		i = j + 1
+	}
+	var pol []float64
+	for _, p := range pts {
+		if p.pos {
+			pol = append(pol, 1)
+		} else {
+			pol = append(pol, -1)
+		}
+	}
+	return pearson(ranks, pol)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,252 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func opinionsFromTruth(attrs []float64, cut float64) []core.Opinion {
+	out := make([]core.Opinion, len(attrs))
+	for i, a := range attrs {
+		if a >= cut {
+			out[i] = core.OpinionPositive
+		} else {
+			out[i] = core.OpinionNegative
+		}
+	}
+	return out
+}
+
+func TestLearnRecoversCleanThreshold(t *testing.T) {
+	rng := stats.NewRNG(1)
+	attrs := make([]float64, 200)
+	for i := range attrs {
+		attrs[i] = rng.Float64() * 1000
+	}
+	ops := opinionsFromTruth(attrs, 400)
+	rule, ok := Learn(attrs, ops)
+	if !ok {
+		t.Fatal("Learn failed")
+	}
+	if rule.Direction != Above {
+		t.Fatalf("direction = %v", rule.Direction)
+	}
+	if rule.Agreement != 1 {
+		t.Fatalf("agreement = %v on clean data", rule.Agreement)
+	}
+	if rule.Threshold < 350 || rule.Threshold > 450 {
+		t.Fatalf("threshold = %v, want ≈ 400", rule.Threshold)
+	}
+	if !rule.Usable() {
+		t.Fatalf("clean rule should be usable: %+v", rule)
+	}
+}
+
+func TestLearnInvertedDirection(t *testing.T) {
+	rng := stats.NewRNG(2)
+	attrs := make([]float64, 100)
+	ops := make([]core.Opinion, 100)
+	for i := range attrs {
+		attrs[i] = rng.Float64() * 100
+		if attrs[i] < 30 { // property applies BELOW the cut ("calm" cities)
+			ops[i] = core.OpinionPositive
+		} else {
+			ops[i] = core.OpinionNegative
+		}
+	}
+	rule, ok := Learn(attrs, ops)
+	if !ok || rule.Direction != Below {
+		t.Fatalf("rule = %+v ok=%v", rule, ok)
+	}
+	if rule.Threshold < 20 || rule.Threshold > 40 {
+		t.Fatalf("threshold = %v, want ≈ 30", rule.Threshold)
+	}
+	if rule.Correlation >= 0 {
+		t.Fatalf("correlation should be negative for a Below rule: %v", rule.Correlation)
+	}
+}
+
+func TestLearnNoisyData(t *testing.T) {
+	rng := stats.NewRNG(3)
+	attrs := make([]float64, 300)
+	ops := make([]core.Opinion, 300)
+	for i := range attrs {
+		attrs[i] = rng.Float64() * 1000
+		truth := attrs[i] >= 500
+		if rng.Bernoulli(0.1) {
+			truth = !truth // 10% label noise
+		}
+		if truth {
+			ops[i] = core.OpinionPositive
+		} else {
+			ops[i] = core.OpinionNegative
+		}
+	}
+	rule, ok := Learn(attrs, ops)
+	if !ok {
+		t.Fatal("Learn failed")
+	}
+	if rule.Agreement < 0.85 {
+		t.Fatalf("agreement = %v with 10%% noise", rule.Agreement)
+	}
+	if rule.Threshold < 350 || rule.Threshold > 650 {
+		t.Fatalf("threshold = %v, want ≈ 500", rule.Threshold)
+	}
+}
+
+func TestLearnIgnoresUnsolved(t *testing.T) {
+	attrs := []float64{1, 2, 3, 10, 20, 30, 5}
+	ops := []core.Opinion{
+		core.OpinionNegative, core.OpinionNegative, core.OpinionNegative,
+		core.OpinionPositive, core.OpinionPositive, core.OpinionPositive,
+		core.OpinionUnsolved,
+	}
+	rule, ok := Learn(attrs, ops)
+	if !ok {
+		t.Fatal("Learn failed")
+	}
+	if rule.Support != 6 {
+		t.Fatalf("support = %d, want 6 (unsolved excluded)", rule.Support)
+	}
+	if rule.Threshold < 3 || rule.Threshold > 10 {
+		t.Fatalf("threshold = %v", rule.Threshold)
+	}
+}
+
+func TestLearnDegenerateInputs(t *testing.T) {
+	// Too few points.
+	if _, ok := Learn([]float64{1, 2}, []core.Opinion{core.OpinionPositive, core.OpinionNegative}); ok {
+		t.Fatal("Learn should fail on 2 points")
+	}
+	// All same opinion.
+	attrs := []float64{1, 2, 3, 4, 5}
+	allPos := make([]core.Opinion, 5)
+	for i := range allPos {
+		allPos[i] = core.OpinionPositive
+	}
+	if _, ok := Learn(attrs, allPos); ok {
+		t.Fatal("Learn should fail when no boundary exists")
+	}
+	// Empty.
+	if _, ok := Learn(nil, nil); ok {
+		t.Fatal("Learn should fail on empty input")
+	}
+}
+
+func TestRuleApplies(t *testing.T) {
+	above := Rule{Threshold: 10, Direction: Above}
+	if !above.Applies(10) || !above.Applies(11) || above.Applies(9) {
+		t.Fatal("Above rule wrong")
+	}
+	below := Rule{Threshold: 10, Direction: Below}
+	if below.Applies(10) || !below.Applies(9) {
+		t.Fatal("Below rule wrong")
+	}
+}
+
+func TestUsableThresholds(t *testing.T) {
+	base := Rule{Threshold: 1, Direction: Above, Agreement: 0.9, Support: 50, Correlation: 0.7}
+	if !base.Usable() {
+		t.Fatal("strong rule should be usable")
+	}
+	weak := base
+	weak.Agreement = 0.6
+	if weak.Usable() {
+		t.Fatal("low-agreement rule should not be usable")
+	}
+	small := base
+	small.Support = 5
+	if small.Usable() {
+		t.Fatal("low-support rule should not be usable")
+	}
+	uncorr := base
+	uncorr.Correlation = 0.05
+	if uncorr.Usable() {
+		t.Fatal("uncorrelated rule should not be usable")
+	}
+}
+
+func TestRefineFlipsOnlyUncertain(t *testing.T) {
+	rule := Rule{Threshold: 100, Direction: Above, Agreement: 0.95, Support: 50, Correlation: 0.8}
+	attrs := []float64{500, 500, 10, 10}
+	probs := []float64{0.99, 0.52, 0.48, 0.01}
+	ops, changed := Refine(rule, attrs, probs, 0.1)
+	// 0.99 stays positive (confident), 0.52 stays positive (rule agrees),
+	// 0.48 flips to negative... rule says attr 10 < 100 -> negative, and
+	// Decide(0.48) is already negative -> no change. 0.01 stays negative.
+	if ops[0] != core.OpinionPositive || ops[1] != core.OpinionPositive ||
+		ops[2] != core.OpinionNegative || ops[3] != core.OpinionNegative {
+		t.Fatalf("opinions = %v", ops)
+	}
+	if changed != 0 {
+		t.Fatalf("changed = %d, want 0 (rule agreed with the model)", changed)
+	}
+
+	// Now a case where the rule overrules an uncertain wrong lean.
+	attrs = []float64{500}
+	probs = []float64{0.45} // model leans negative, but attr is far above
+	ops, changed = Refine(rule, attrs, probs, 0.1)
+	if ops[0] != core.OpinionPositive || changed != 1 {
+		t.Fatalf("ops=%v changed=%d", ops, changed)
+	}
+}
+
+func TestRefineUnusableRuleIsNoop(t *testing.T) {
+	rule := Rule{Threshold: 100, Direction: Above, Agreement: 0.5, Support: 3}
+	probs := []float64{0.52, 0.48}
+	ops, changed := Refine(rule, []float64{1000, 1000}, probs, 0.1)
+	if changed != 0 {
+		t.Fatalf("unusable rule changed %d opinions", changed)
+	}
+	if ops[0] != core.OpinionPositive || ops[1] != core.OpinionNegative {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Above.String() != ">=" || Below.String() != "<" {
+		t.Fatal("Direction strings wrong")
+	}
+}
+
+// Property: the learned rule's agreement is never below 1/2 (one of the
+// two directions always gets at least half right), and the threshold lies
+// strictly between the min and max attribute.
+func TestLearnAgreementBoundProperty(t *testing.T) {
+	f := func(raw []uint16, labels []bool) bool {
+		n := len(raw)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		attrs := make([]float64, n)
+		ops := make([]core.Opinion, n)
+		for i := 0; i < n; i++ {
+			attrs[i] = float64(raw[i])
+			if labels[i] {
+				ops[i] = core.OpinionPositive
+			} else {
+				ops[i] = core.OpinionNegative
+			}
+		}
+		rule, ok := Learn(attrs, ops)
+		if !ok {
+			return true
+		}
+		if rule.Agreement < 0.5-1e-12 {
+			return false
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, a := range attrs {
+			min = math.Min(min, a)
+			max = math.Max(max, a)
+		}
+		return rule.Threshold > min-1e-9 && rule.Threshold < max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

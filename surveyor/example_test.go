@@ -1,0 +1,65 @@
+package surveyor_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/surveyor"
+)
+
+// The basic flow: register entities, mine raw text, read back opinions.
+func ExampleSystem_Mine() {
+	sys := surveyor.NewSystem()
+	sys.AddEntity("kitten", "animal", false, nil)
+	sys.AddEntity("scorpion", "animal", false, nil)
+
+	res := sys.Mine([]surveyor.Document{
+		{Text: "Kittens are cute. Everyone agrees that kittens are cute animals."},
+		{Text: "I don't think that scorpions are cute. Scorpions are never cute."},
+	}, surveyor.Config{Rho: 1})
+
+	for _, name := range []string{"kitten", "scorpion"} {
+		op, _ := res.Opinion(name, "cute")
+		fmt.Printf("%s cute: %s (+%d/-%d)\n", name, op.Opinion, op.Pos, op.Neg)
+	}
+	// Output:
+	// kitten cute: + (+2/-0)
+	// scorpion cute: - (+0/-2)
+}
+
+// The model works on bare statement counts — no text required — and
+// classifies even the zero-count tuple.
+func ExampleFitModel() {
+	model := surveyor.FitModel([]surveyor.Counts{
+		{Pos: 40, Neg: 1}, {Pos: 52, Neg: 0}, {Pos: 45, Neg: 2}, // applies
+		{Pos: 2, Neg: 5}, {Pos: 0, Neg: 6}, {Pos: 1, Neg: 4}, // does not
+		{Pos: 0, Neg: 0}, // never mentioned
+	})
+	fmt.Println("never mentioned:", model.Decide(surveyor.Counts{}))
+	fmt.Println("heavily asserted:", model.Decide(surveyor.Counts{Pos: 48, Neg: 1}))
+	// Output:
+	// never mentioned: -
+	// heavily asserted: +
+}
+
+// Subjective queries are answered from the mined opinion store.
+func ExampleResult_Query() {
+	sys := surveyor.NewSystem()
+	for _, a := range []string{"kitten", "puppy", "wasp"} {
+		sys.AddEntity(a, "animal", false, nil)
+	}
+	res := sys.Mine([]surveyor.Document{
+		{Text: "Kittens are cute. Puppies are cute. Wasps are not cute."},
+		{Text: "The kitten is really cute. I think that puppies are cute."},
+	}, surveyor.Config{Rho: 1})
+
+	answers, _ := res.Query("cute animals")
+	names := make([]string, len(answers))
+	for i, a := range answers {
+		names[i] = a.Entity
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output:
+	// [kitten puppy]
+}
