@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, s, ok := parseLine("BenchmarkTokenize-8   \t 12345\t  987 ns/op\t  64 B/op\t  2 allocs/op")
+	if !ok || name != "Tokenize" {
+		t.Fatalf("parseLine failed: ok=%v name=%q", ok, name)
+	}
+	if s.NsOp != 987 || s.BOp != 64 || s.AllocsOp != 2 {
+		t.Fatalf("wrong sample: %+v", s)
+	}
+
+	name, s, ok = parseLine("BenchmarkPipelinePhases-4 100 36897376 ns/op 1386 docs/run 10283033 B/op 146113 allocs/op")
+	if !ok || name != "PipelinePhases" {
+		t.Fatalf("parseLine failed: ok=%v name=%q", ok, name)
+	}
+	if s.Metrics["docs/run"] != 1386 {
+		t.Fatalf("custom metric lost: %+v", s)
+	}
+
+	for _, junk := range []string{"", "ok  \trepro\t1.2s", "PASS", "goos: linux", "BenchmarkX-8 oops ns/op"} {
+		if _, _, ok := parseLine(junk); ok {
+			t.Fatalf("parseLine accepted %q", junk)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	samples := map[string]Sample{
+		"ExtractionThroughput": {NsOp: 4000},
+		"PipelinePhases":       {NsOp: 2e9, Metrics: map[string]float64{"docs/run": 1000}},
+	}
+	derive(samples)
+	if got := samples["ExtractionThroughput"].Metrics["sentences/sec"]; got != 250000 {
+		t.Fatalf("sentences/sec = %v, want 250000", got)
+	}
+	if got := samples["PipelinePhases"].Metrics["docs/sec"]; got != 500 {
+		t.Fatalf("docs/sec = %v, want 500", got)
+	}
+}
+
+// TestDiffGate pins the acceptance criterion: a >20% ns/op slowdown
+// counts as a regression, anything inside the tolerance does not, and
+// benchmarks missing from the baseline never gate.
+func TestDiffGate(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Sample{
+		"Fast":  {NsOp: 100},
+		"Slow":  {NsOp: 100},
+		"Equal": {NsOp: 100},
+	}}
+	cur := map[string]Sample{
+		"Fast":  {NsOp: 70},  // improved
+		"Slow":  {NsOp: 125}, // beyond 20%
+		"Equal": {NsOp: 115}, // inside tolerance
+		"New":   {NsOp: 999}, // not in baseline
+	}
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if got := diff(null, base, cur, 0.20); got != 1 {
+		t.Fatalf("diff found %d regressions, want exactly 1", got)
+	}
+	if got := diff(null, base, cur, 0.30); got != 0 {
+		t.Fatalf("at 30%% tolerance diff found %d regressions, want 0", got)
+	}
+}

@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"repro/internal/corpus"
@@ -19,7 +21,11 @@ import (
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout, 1) }
+
+// run does the actual work at the given corpus scale; the smoke test
+// drives it in-process on a small snapshot.
+func run(w io.Writer, scale float64) {
 	builder := kb.NewBuilder(3)
 	builder.CalifornianCities(461)
 	builder.AssignProminence("city", "population")
@@ -28,7 +34,7 @@ func main() {
 	spec := corpus.Figure3Spec()
 	spec.PopularityWeighting = true
 	snap := corpus.NewGenerator(base, []corpus.Spec{spec},
-		corpus.Config{Seed: 3, Scale: 1}).Generate()
+		corpus.Config{Seed: 3, Scale: scale}).Generate()
 
 	sys := surveyor.NewSystem()
 	type cityInfo struct {
@@ -47,7 +53,7 @@ func main() {
 		docs[i] = surveyor.Document{URL: d.URL, Text: d.Text}
 	}
 	res := sys.Mine(docs, surveyor.Config{Rho: 50})
-	fmt.Println("run:", res.Stats())
+	fmt.Fprintln(w, "run:", res.Stats())
 
 	names := make([]string, 0, len(cities))
 	for n := range cities {
@@ -55,7 +61,7 @@ func main() {
 	}
 	sort.Slice(names, func(a, b int) bool { return cities[names[a]].pop > cities[names[b]].pop })
 
-	fmt.Println("\npopulation    city                 evidence     MV   model")
+	fmt.Fprintln(w, "\npopulation    city                 evidence     MV   model")
 	var mvWrongSmall, zeroDecided int
 	for i, n := range names {
 		info := cities[n]
@@ -72,13 +78,13 @@ func main() {
 		}
 		// Print the extremes and a slice of the middle.
 		if i < 6 || i >= len(names)-6 || (i >= 225 && i < 231) {
-			fmt.Printf("%10.0f    %-20s +%3d/-%3d    %s    %s (p=%.3f)\n",
+			fmt.Fprintf(w, "%10.0f    %-20s +%3d/-%3d    %s    %s (p=%.3f)\n",
 				info.pop, n, op.Pos, op.Neg, mv, op.Opinion, op.Probability)
 		}
 		if i == 6 || i == 231 {
-			fmt.Println("      ...")
+			fmt.Fprintln(w, "      ...")
 		}
 	}
-	fmt.Printf("\nmajority vote calls %d cities under 100k population 'big' (the Figure 3c failure)\n", mvWrongSmall)
-	fmt.Printf("the model classified %d cities that have zero statements (the Figure 3d coverage win)\n", zeroDecided)
+	fmt.Fprintf(w, "\nmajority vote calls %d cities under 100k population 'big' (the Figure 3c failure)\n", mvWrongSmall)
+	fmt.Fprintf(w, "the model classified %d cities that have zero statements (the Figure 3d coverage win)\n", zeroDecided)
 }

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end on a reduced snapshot.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf, 0.1)
+	out := buf.String()
+	for _, want := range []string{"run:", "majority vote calls", "zero statements"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"repro/internal/corpus"
@@ -19,7 +21,11 @@ import (
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout, 1.5) }
+
+// run does the actual work at the given corpus scale; the smoke test
+// drives it in-process on a small snapshot.
+func run(w io.Writer, scale float64) {
 	// Build the animal domain and a synthetic snapshot for it. The corpus
 	// generator is a test fixture (the substitute for a web crawl); the
 	// mining below uses only the public API.
@@ -30,7 +36,7 @@ func main() {
 			specs = append(specs, s)
 		}
 	}
-	snap := corpus.NewGenerator(base, specs, corpus.Config{Seed: 7, Scale: 1.5}).Generate()
+	snap := corpus.NewGenerator(base, specs, corpus.Config{Seed: 7, Scale: scale}).Generate()
 
 	sys := surveyor.NewSystemWithBuiltinKB(7)
 	docs := make([]surveyor.Document, len(snap.Documents))
@@ -39,26 +45,26 @@ func main() {
 	}
 
 	res := sys.Mine(docs, surveyor.Config{Rho: 40})
-	fmt.Println("run:", res.Stats())
+	fmt.Fprintln(w, "run:", res.Stats())
 
 	for _, g := range res.Groups() {
 		if g.Type != "animal" {
 			continue
 		}
-		fmt.Printf("\n=== %s animals ===  fitted pA=%.2f np+S=%.1f np-S=%.1f\n",
+		fmt.Fprintf(w, "\n=== %s animals ===  fitted pA=%.2f np+S=%.1f np-S=%.1f\n",
 			g.Property, g.PA, g.NpPlus, g.NpMinus)
 
 		ents := append([]surveyor.EntityOpinion(nil), g.Entities...)
 		sort.Slice(ents, func(a, b int) bool { return ents[a].Probability > ents[b].Probability })
 
-		fmt.Println("most confidently YES:")
+		fmt.Fprintln(w, "most confidently YES:")
 		for _, eo := range ents[:5] {
-			fmt.Printf("  %s %-14s p=%.3f (+%d/-%d)\n", eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
+			fmt.Fprintf(w, "  %s %-14s p=%.3f (+%d/-%d)\n", eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
 		}
-		fmt.Println("most confidently NO:")
+		fmt.Fprintln(w, "most confidently NO:")
 		for i := len(ents) - 5; i < len(ents); i++ {
 			eo := ents[i]
-			fmt.Printf("  %s %-14s p=%.3f (+%d/-%d)\n", eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
+			fmt.Fprintf(w, "  %s %-14s p=%.3f (+%d/-%d)\n", eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
 		}
 
 		// Cases where the model overrules the raw majority — the paper's
@@ -68,15 +74,15 @@ func main() {
 			mv := surveyor.MajorityVote(surveyor.Counts{Pos: int(eo.Pos), Neg: int(eo.Neg)})
 			if mv != surveyor.Unsolved && mv != eo.Opinion && eo.Opinion != surveyor.Unsolved {
 				if overruled == 0 {
-					fmt.Println("model overrules raw majority for:")
+					fmt.Fprintln(w, "model overrules raw majority for:")
 				}
 				overruled++
 				if overruled <= 4 {
-					fmt.Printf("  %-14s counts +%d/-%d say %s, model says %s (p=%.3f)\n",
+					fmt.Fprintf(w, "  %-14s counts +%d/-%d say %s, model says %s (p=%.3f)\n",
 						eo.Entity, eo.Pos, eo.Neg, mv, eo.Opinion, eo.Probability)
 				}
 			}
 		}
-		fmt.Printf("(%d majority-vote decisions overruled, of %d animals)\n", overruled, len(ents))
+		fmt.Fprintf(w, "(%d majority-vote decisions overruled, of %d animals)\n", overruled, len(ents))
 	}
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end on a reduced snapshot.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf, 0.15)
+	out := buf.String()
+	if !strings.Contains(out, "run:") {
+		t.Fatalf("output missing run stats:\n%s", out)
+	}
+	if !strings.Contains(out, "animals ===") {
+		t.Fatalf("no animal property group was mined:\n%s", out)
+	}
+}

@@ -11,13 +11,19 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/corpus"
 	"repro/internal/kb"
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout, 1) }
+
+// run does the actual work at the given corpus scale; the smoke test
+// drives it in-process on a small snapshot.
+func run(w io.Writer, scale float64) {
 	builder := kb.NewBuilder(21)
 	builder.CalifornianCities(461)
 	builder.AssignProminence("city", "population")
@@ -26,7 +32,7 @@ func main() {
 	spec := corpus.Figure3Spec() // latent midpoint: 250,000 inhabitants
 	spec.PopularityWeighting = true
 	snap := corpus.NewGenerator(base, []corpus.Spec{spec},
-		corpus.Config{Seed: 21, Scale: 1}).Generate()
+		corpus.Config{Seed: 21, Scale: scale}).Generate()
 
 	sys := surveyor.NewSystem()
 	for _, id := range base.OfType("city") {
@@ -39,25 +45,25 @@ func main() {
 	}
 
 	res := sys.Mine(docs, surveyor.Config{Rho: 50})
-	fmt.Println("run:", res.Stats())
+	fmt.Fprintln(w, "run:", res.Stats())
 
 	rule, ok := res.LearnRule("city", "big", "population")
 	if !ok {
-		fmt.Println("no rule could be learned")
+		fmt.Fprintln(w, "no rule could be learned")
 		return
 	}
-	fmt.Println()
-	fmt.Println("learned rule:", rule)
-	fmt.Printf("generative threshold the corpus was built from: 250,000\n")
-	fmt.Printf("usable for refinement: %v (correlation %.2f)\n", rule.Usable, rule.Correlation)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "learned rule:", rule)
+	fmt.Fprintf(w, "generative threshold the corpus was built from: 250,000\n")
+	fmt.Fprintf(w, "usable for refinement: %v (correlation %.2f)\n", rule.Usable, rule.Correlation)
 
-	fmt.Println()
-	fmt.Println("spot checks against the learned bound:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "spot checks against the learned bound:")
 	for _, name := range []string{"Los Angeles", "Sacramento", "Palo Alto", "Sausalito"} {
 		op, ok := res.Opinion(name, "big")
 		if !ok {
 			continue
 		}
-		fmt.Printf("  %-14s mined: %s (p=%.2f)\n", name, op.Opinion, op.Probability)
+		fmt.Fprintf(w, "  %-14s mined: %s (p=%.2f)\n", name, op.Opinion, op.Probability)
 	}
 }

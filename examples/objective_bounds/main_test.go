@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end on a reduced snapshot. Rule
+// learning may legitimately fail on a small corpus, but the run must
+// complete and say so.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf, 0.15)
+	out := buf.String()
+	if !strings.Contains(out, "run:") {
+		t.Fatalf("output missing run stats:\n%s", out)
+	}
+	if !strings.Contains(out, "learned rule:") && !strings.Contains(out, "no rule could be learned") {
+		t.Fatalf("run reported neither a rule nor a failure:\n%s", out)
+	}
+}

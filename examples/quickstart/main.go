@@ -11,11 +11,16 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// run does the actual work; the smoke test drives it in-process.
+func run(w io.Writer) {
 	sys := surveyor.NewSystem()
 	for _, animal := range []string{"kitten", "puppy", "spider", "scorpion", "hamster"} {
 		sys.AddEntity(animal, "animal", false, nil)
@@ -31,17 +36,17 @@ func main() {
 	}
 
 	res := sys.Mine(docs, surveyor.Config{Rho: 1})
-	fmt.Println("run:", res.Stats())
-	fmt.Println()
+	fmt.Fprintln(w, "run:", res.Stats())
+	fmt.Fprintln(w)
 
-	fmt.Println("Dominant opinions for property \"cute\":")
+	fmt.Fprintln(w, "Dominant opinions for property \"cute\":")
 	for _, animal := range []string{"kitten", "puppy", "hamster", "spider", "scorpion"} {
 		op, ok := res.Opinion(animal, "cute")
 		if !ok {
-			fmt.Printf("  %-10s (not classified)\n", animal)
+			fmt.Fprintf(w, "  %-10s (not classified)\n", animal)
 			continue
 		}
-		fmt.Printf("  %s %-10s Pr(cute)=%.3f  evidence +%d/-%d\n",
+		fmt.Fprintf(w, "  %s %-10s Pr(cute)=%.3f  evidence +%d/-%d\n",
 			op.Opinion, animal, op.Probability, op.Pos, op.Neg)
 	}
 
@@ -49,17 +54,17 @@ func main() {
 	// Note the zero-count tuple at the end: the fitted model still decides
 	// it (an entity nobody mentions is probably not cute in a world where
 	// cute entities attract dozens of statements).
-	fmt.Println()
-	fmt.Println("Low-level model on raw counts:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Low-level model on raw counts:")
 	counts := []surveyor.Counts{
 		{Pos: 42, Neg: 1}, {Pos: 38, Neg: 2}, {Pos: 55, Neg: 0}, // cute cluster
 		{Pos: 3, Neg: 6}, {Pos: 1, Neg: 8}, {Pos: 0, Neg: 5}, // not-cute cluster
 		{Pos: 0, Neg: 0}, // never mentioned
 	}
 	model := surveyor.FitModel(counts)
-	fmt.Printf("  fitted: pA=%.2f np+S=%.1f np-S=%.1f\n", model.PA, model.NpPlus, model.NpMinus)
+	fmt.Fprintf(w, "  fitted: pA=%.2f np+S=%.1f np-S=%.1f\n", model.PA, model.NpPlus, model.NpMinus)
 	for _, c := range counts {
-		fmt.Printf("  (+%d,-%d) -> %s  (Pr=%.3f; majority vote says %s)\n",
+		fmt.Fprintf(w, "  (+%d,-%d) -> %s  (Pr=%.3f; majority vote says %s)\n",
 			c.Pos, c.Neg, model.Decide(c), model.ProbabilityPositive(c), surveyor.MajorityVote(c))
 	}
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end and checks it produces the
+// sections it promises.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf)
+	out := buf.String()
+	for _, want := range []string{"run:", "Dominant opinions", "Low-level model"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

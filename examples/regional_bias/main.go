@@ -12,6 +12,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"repro/internal/corpus"
@@ -19,7 +21,11 @@ import (
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout, 1.5) }
+
+// run does the actual work at the given corpus scale; the smoke test
+// drives it in-process on a small snapshot.
+func run(w io.Writer, scale float64) {
 	builder := kb.NewBuilder(11)
 	builder.CalifornianCities(150)
 	base := builder.KB()
@@ -29,7 +35,7 @@ func main() {
 	spec := corpus.RegionalSpec("big", "com", "cn", 150_000)
 	snap := corpus.NewGenerator(base, []corpus.Spec{spec}, corpus.Config{
 		Seed:  11,
-		Scale: 1.5,
+		Scale: scale,
 		Domains: []corpus.DomainShare{
 			{Domain: "com", Share: 0.5},
 			{Domain: "cn", Share: 0.5},
@@ -46,7 +52,7 @@ func main() {
 		for _, d := range snap.DocumentsInDomain(domain) {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
 		}
-		fmt.Printf("mining %d documents from .%s sites\n", len(docs), domain)
+		fmt.Fprintf(w, "mining %d documents from .%s sites\n", len(docs), domain)
 		return sys.Mine(docs, surveyor.Config{Rho: 30}), sys
 	}
 
@@ -71,7 +77,7 @@ func main() {
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].pop > rows[b].pop })
 
-	fmt.Println("\npopulation    city                 .com  .cn")
+	fmt.Fprintln(w, "\npopulation    city                 .com  .cn")
 	disagreements := 0
 	for _, r := range rows {
 		marker := ""
@@ -80,9 +86,9 @@ func main() {
 			marker = "   <- regions disagree"
 		}
 		if r.pop > 1_000_000 || (r.pop > 100_000 && r.pop < 700_000) || r.com != r.cn {
-			fmt.Printf("%10.0f    %-20s %s     %s%s\n", r.pop, r.name, r.com, r.cn, marker)
+			fmt.Fprintf(w, "%10.0f    %-20s %s     %s%s\n", r.pop, r.name, r.com, r.cn, marker)
 		}
 	}
-	fmt.Printf("\n%d of %d cities are 'big' in one region but not the other\n", disagreements, len(rows))
-	fmt.Println("(mid-size cities are big to .com authors but not to .cn authors)")
+	fmt.Fprintf(w, "\n%d of %d cities are 'big' in one region but not the other\n", disagreements, len(rows))
+	fmt.Fprintln(w, "(mid-size cities are big to .com authors but not to .cn authors)")
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end on a reduced snapshot.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf, 0.3)
+	out := buf.String()
+	if !strings.Contains(out, "mining") {
+		t.Fatalf("output missing mining lines:\n%s", out)
+	}
+	if !strings.Contains(out, "in one region but not the other") {
+		t.Fatalf("output missing the regional diff summary:\n%s", out)
+	}
+}

@@ -10,16 +10,22 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/corpus"
 	"repro/internal/kb"
 	"repro/surveyor"
 )
 
-func main() {
+func main() { run(os.Stdout, 1) }
+
+// run does the actual work at the given corpus scale; the smoke test
+// drives it in-process on a small snapshot.
+func run(w io.Writer, scale float64) {
 	base := kb.Default(5)
 	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
-		corpus.Config{Seed: 5, Scale: 1}).Generate()
+		corpus.Config{Seed: 5, Scale: scale}).Generate()
 
 	sys := surveyor.NewSystemWithBuiltinKB(5)
 	docs := make([]surveyor.Document, len(snap.Documents))
@@ -27,7 +33,7 @@ func main() {
 		docs[i] = surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
 	}
 	res := sys.Mine(docs, surveyor.Config{Rho: 40})
-	fmt.Println("run:", res.Stats())
+	fmt.Fprintln(w, "run:", res.Stats())
 
 	queries := []string{
 		"dangerous animals",
@@ -37,10 +43,10 @@ func main() {
 		"cute animals",
 	}
 	for _, q := range queries {
-		fmt.Printf("\n? %s\n", q)
+		fmt.Fprintf(w, "\n? %s\n", q)
 		answers, err := res.Query(q)
 		if err != nil {
-			fmt.Println("  ", err)
+			fmt.Fprintln(w, "  ", err)
 			continue
 		}
 		max := 6
@@ -48,13 +54,13 @@ func main() {
 			max = len(answers)
 		}
 		for _, a := range answers[:max] {
-			fmt.Printf("   %-18s p=%.3f  (+%d/-%d statements)\n",
+			fmt.Fprintf(w, "   %-18s p=%.3f  (+%d/-%d statements)\n",
 				a.Entity, a.Probability, a.Pos, a.Neg)
 		}
 		if len(answers) > max {
-			fmt.Printf("   ... and %d more\n", len(answers)-max)
+			fmt.Fprintf(w, "   ... and %d more\n", len(answers)-max)
 		}
 	}
 
-	fmt.Println("\nqueryable properties for animals:", res.QueryableProperties("animal"))
+	fmt.Fprintln(w, "\nqueryable properties for animals:", res.QueryableProperties("animal"))
 }

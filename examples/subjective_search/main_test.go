@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun drives the example end to end on a reduced snapshot.
+func TestRun(t *testing.T) {
+	var buf strings.Builder
+	run(&buf, 0.1)
+	out := buf.String()
+	if !strings.Contains(out, "run:") {
+		t.Fatalf("output missing run stats:\n%s", out)
+	}
+	for _, q := range []string{"? dangerous animals", "? big cities", "queryable properties"} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("output missing %q:\n%s", q, out)
+		}
+	}
+}

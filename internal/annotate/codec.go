@@ -48,7 +48,9 @@ func Read(r io.Reader) ([]Document, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("annotate: implausible document count %d", n)
 	}
-	docs := make([]Document, 0, n)
+	// The count is untrusted until that many documents actually decode, so
+	// cap the preallocation: a forged header must not cost gigabytes.
+	docs := make([]Document, 0, min(n, 4096))
 	for i := uint64(0); i < n; i++ {
 		doc := d.document()
 		if d.err != nil {
@@ -199,6 +201,18 @@ func (d *decoder) sentence() Sentence {
 			rels[i] = depparse.Label(d.str())
 		}
 		if d.err == nil {
+			// Assemble indexes by head, so corrupt indices must be
+			// rejected here rather than panic downstream.
+			if root < -1 || root >= len(s.Tokens) {
+				d.err = fmt.Errorf("tree root %d out of range for %d tokens", root, len(s.Tokens))
+				return s
+			}
+			for i, h := range heads {
+				if h < -1 || h >= len(s.Tokens) {
+					d.err = fmt.Errorf("node %d head %d out of range for %d tokens", i, h, len(s.Tokens))
+					return s
+				}
+			}
 			s.Tree = depparse.Assemble(s.Tokens, heads, rels, root)
 		}
 	}

@@ -1,0 +1,148 @@
+package annotate
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/depparse"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/pos"
+	"repro/internal/nlp/token"
+	"repro/internal/stats"
+	"repro/internal/tagger"
+)
+
+var codecRels = []depparse.Label{
+	depparse.RootLabel, depparse.Nsubj, depparse.Amod, depparse.Cop,
+	depparse.Conj, depparse.Prep, depparse.Advmod, depparse.Neg, depparse.Dep,
+}
+
+// randomDocument builds a structurally valid annotated document straight
+// from the RNG: arbitrary strings, tags, spans, tree shapes and mentions,
+// without going through the NLP pipeline. Empty slices are left nil so a
+// decoded copy is reflect.DeepEqual to the original.
+func randomDocument(rng *stats.RNG) Document {
+	doc := Document{
+		URL:    fmt.Sprintf("http://site%d.example/p/%d", rng.Intn(50), rng.Intn(1000)),
+		Domain: fmt.Sprintf("site%d.example", rng.Intn(50)),
+		Author: rng.Intn(200),
+	}
+	for s := rng.Intn(4); s > 0; s-- {
+		doc.Sentence = append(doc.Sentence, randomSentence(rng))
+	}
+	return doc
+}
+
+func randomSentence(rng *stats.RNG) Sentence {
+	var sent Sentence
+	nTok := rng.Intn(9)
+	pos := 0
+	for i := 0; i < nTok; i++ {
+		text := randomWord(rng)
+		start := pos + rng.Intn(2)
+		end := start + len(text)
+		pos = end
+		sent.Tokens = append(sent.Tokens, randomToken(rng, text, start, end))
+	}
+	if rng.Bernoulli(0.8) {
+		sent.Tree = randomTree(rng, sent.Tokens)
+	}
+	for m := rng.Intn(3); m > 0 && nTok > 0; m-- {
+		start := rng.Intn(nTok)
+		end := start + 1 + rng.Intn(nTok-start)
+		sent.Mentions = append(sent.Mentions, tagger.Mention{
+			Entity: kb.EntityID(rng.Intn(500)),
+			Start:  start,
+			End:    end,
+			Head:   end - 1,
+		})
+	}
+	return sent
+}
+
+func randomToken(rng *stats.RNG, text string, start, end int) pos.Tagged {
+	return pos.Tagged{
+		Token: token.Token{Text: text, Start: start, End: end},
+		Tag:   lexicon.Tag(rng.IntRange(int(lexicon.Other), int(lexicon.Mark))),
+	}
+}
+
+func randomWord(rng *stats.RNG) string {
+	words := []string{"cute", "kittens", "are", "not", "San", "Francisco",
+		"\x00\xff", "naïve", "o'clock", "..."}
+	return words[rng.Intn(len(words))]
+}
+
+// randomTree draws a random head assignment where every non-root head
+// points strictly left, which guarantees a connected acyclic tree.
+func randomTree(rng *stats.RNG, tokens []pos.Tagged) *depparse.Tree {
+	heads := make([]int, len(tokens))
+	rels := make([]depparse.Label, len(tokens))
+	root := -1
+	for i := range tokens {
+		if i == 0 {
+			heads[i], rels[i], root = -1, depparse.RootLabel, 0
+			continue
+		}
+		heads[i] = rng.Intn(i)
+		rels[i] = codecRels[rng.Intn(len(codecRels))]
+	}
+	return depparse.Assemble(tokens, heads, rels, root)
+}
+
+// TestCodecRoundTripRandom is the codec's property test: any structurally
+// valid batch of documents must survive Write→Read bit-exactly, including
+// tree shape (compared via DeepEqual, which sees the unexported child
+// index rebuilt by Assemble).
+func TestCodecRoundTripRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := stats.NewRNG(seed)
+		docs := make([]Document, rng.IntRange(1, 6))
+		for i := range docs {
+			docs[i] = randomDocument(rng)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, docs); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: read back: %v", seed, err)
+		}
+		if !reflect.DeepEqual(docs, got) {
+			t.Fatalf("seed %d: round trip changed the documents\nwrote %+v\nread  %+v", seed, docs, got)
+		}
+	}
+}
+
+// TestCodecRejectsCorruptTrees pins the decoder hardening: a tree whose
+// stored heads point outside the sentence must fail with an error instead
+// of panicking in Assemble.
+func TestCodecRejectsCorruptTrees(t *testing.T) {
+	rng := stats.NewRNG(99)
+	var doc Document
+	for len(doc.Sentence) == 0 || doc.Sentence[0].Tree == nil || len(doc.Sentence[0].Tokens) < 2 {
+		doc = randomDocument(rng)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []Document{doc}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Walk the encoding byte by byte, flipping each byte to a large varint
+	// limb; every outcome must be a clean error or a successful decode.
+	corrupted := 0
+	for i := len(codecHeader); i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x7f
+		if _, err := Read(bytes.NewReader(mut)); err != nil {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no byte flip produced a decode error; corruption checks look dead")
+	}
+}

@@ -1,0 +1,46 @@
+package annotate
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// FuzzRead feeds arbitrary bytes to the codec decoder. Read must either
+// fail cleanly or produce documents that re-encode and decode to the same
+// value (idempotence); it must never panic, which is what the head-range
+// validation in the tree decoder guards — Assemble would index out of
+// bounds on hostile head values otherwise.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(codecHeader))
+	f.Add([]byte("SVANN1\n\x01garbage"))
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := stats.NewRNG(seed)
+		docs := []Document{randomDocument(rng), randomDocument(rng)}
+		var buf bytes.Buffer
+		if err := Write(&buf, docs); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, docs); err != nil {
+			t.Fatalf("re-encoding decoded documents: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(docs, again) {
+			t.Fatalf("decode/encode/decode not idempotent\nfirst  %+v\nsecond %+v", docs, again)
+		}
+	})
+}

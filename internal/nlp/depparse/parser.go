@@ -540,6 +540,11 @@ scan:
 		}
 	}
 	if len(nouns) == 0 {
+		// No noun materialised: release the adjective heads parseAdjP
+		// claimed on our behalf, or they would stay headless forever.
+		for _, g := range groups {
+			b.placed[g.first] = false
+		}
 		return -1, lo
 	}
 	head := nouns[len(nouns)-1]

@@ -1,0 +1,53 @@
+package token
+
+import "testing"
+
+// FuzzSplitSentences checks the structural invariants of the tokenizer and
+// sentence splitter on arbitrary input: byte offsets stay inside the
+// source, token spans are ordered and non-overlapping, and sentence
+// bounds agree with their tokens. Token.Text may legitimately differ from
+// the source slice (contraction normalisation: "won't" -> "will" + "n't").
+func FuzzSplitSentences(f *testing.F) {
+	f.Add("I don't think that San Francisco is a big city, but it is beautiful.")
+	f.Add("Mr. Smith won't visit St. Louis. Really?")
+	f.Add("well-known U.S. cities... e.g. NYC!")
+	f.Add("Kittens are cute. Spiders aren't.")
+	f.Add("")
+	f.Add("...")
+	f.Add("a\x00b\xffc")
+	f.Add("can't shan't won't o'clock 'tis")
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		prevEnd := 0
+		for i, tok := range toks {
+			if tok.Text == "" {
+				t.Fatalf("token %d is empty", i)
+			}
+			if tok.Start < prevEnd || tok.Start >= tok.End || tok.End > len(text) {
+				t.Fatalf("token %d span [%d,%d) out of order or out of bounds (prev end %d, len %d)",
+					i, tok.Start, tok.End, prevEnd, len(text))
+			}
+			prevEnd = tok.End
+		}
+
+		sents := SplitSentences(text)
+		total := 0
+		for si, s := range sents {
+			if len(s.Tokens) == 0 {
+				t.Fatalf("sentence %d has no tokens", si)
+			}
+			if s.Start != s.Tokens[0].Start || s.End != s.Tokens[len(s.Tokens)-1].End {
+				t.Fatalf("sentence %d bounds [%d,%d) disagree with its tokens", si, s.Start, s.End)
+			}
+			for ti, tok := range s.Tokens {
+				if tok != toks[total+ti] {
+					t.Fatalf("sentence %d token %d differs from Tokenize output", si, ti)
+				}
+			}
+			total += len(s.Tokens)
+		}
+		if total != len(toks) {
+			t.Fatalf("sentences cover %d tokens, Tokenize produced %d", total, len(toks))
+		}
+	})
+}

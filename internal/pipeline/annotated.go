@@ -25,22 +25,19 @@ func Annotate(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, workers
 	annotator := annotate.New(base, lex)
 	out := make([]annotate.Document, len(docs))
 	var wg sync.WaitGroup
-	chunk := (len(docs) + workers - 1) / workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for lo := 0; lo < len(docs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(docs) {
-			hi = len(docs)
-		}
+	var next atomic.Int64
+	for w := 0; w < workerCount(workers, len(docs)); w++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					break
+				}
 				out[i] = annotator.Annotate(docs[i])
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return out
@@ -59,22 +56,19 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 	var sentences atomic.Int64
 
 	var wg sync.WaitGroup
-	chunk := (len(docs) + cfg.Workers - 1) / cfg.Workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for lo := 0; lo < len(docs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(docs) {
-			hi = len(docs)
-		}
+	var next atomic.Int64
+	for w := 0; w < workerCount(cfg.Workers, len(docs)); w++ {
 		wg.Add(1)
-		go func(shard []annotate.Document) {
+		go func() {
 			defer wg.Done()
 			local := int64(0)
-			for di := range shard {
-				for si := range shard[di].Sentence {
-					s := &shard[di].Sentence[si]
+			for {
+				di := int(next.Add(1)) - 1
+				if di >= len(docs) {
+					break
+				}
+				for si := range docs[di].Sentence {
+					s := &docs[di].Sentence[si]
 					local++
 					if s.Tree == nil || len(s.Mentions) == 0 {
 						continue
@@ -85,7 +79,7 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 				}
 			}
 			sentences.Add(local)
-		}(docs[lo:hi])
+		}()
 	}
 	wg.Wait()
 	res.Store = store
@@ -155,8 +149,10 @@ func finishRun(res *Result, base *kb.KB, cfg Config) {
 	res.Timings.EM = time.Since(start)
 
 	res.index = map[opinionKey]*EntityOpinion{}
+	res.groupIndex = make(map[evidence.GroupKey]*GroupResult, len(res.Groups))
 	for gi := range res.Groups {
 		g := &res.Groups[gi]
+		res.groupIndex[g.Key] = g
 		for i := range g.Entities {
 			res.index[opinionKey{g.Entities[i].Entity, g.Key.Property}] = &g.Entities[i]
 		}

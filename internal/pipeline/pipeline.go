@@ -40,6 +40,14 @@ type Config struct {
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// workerCount caps the goroutine count at the number of work items.
+func workerCount(workers, items int) int {
+	if workers > items {
+		return items
+	}
+	return workers
+}
+
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = defaultWorkers()
@@ -100,7 +108,8 @@ type Result struct {
 	Documents int
 	Timings   Timings
 
-	index map[opinionKey]*EntityOpinion
+	index      map[opinionKey]*EntityOpinion
+	groupIndex map[evidence.GroupKey]*GroupResult
 }
 
 type opinionKey struct {
@@ -120,12 +129,8 @@ func (r *Result) Opinion(e kb.EntityID, property string) (EntityOpinion, bool) {
 
 // Group returns the result for a (type, property) pair, if modelled.
 func (r *Result) Group(typ, property string) (*GroupResult, bool) {
-	for i := range r.Groups {
-		if r.Groups[i].Key.Type == typ && r.Groups[i].Key.Property == property {
-			return &r.Groups[i], true
-		}
-	}
-	return nil, false
+	g, ok := r.groupIndex[evidence.GroupKey{Type: typ, Property: property}]
+	return g, ok
 }
 
 // Run executes the full pipeline over the documents.
@@ -142,22 +147,24 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	entTagger := tagger.New(base, lex)
 	extractor := extract.NewVersion(lex, cfg.Version)
 
+	// Documents are fed through a shared atomic index rather than static
+	// shards: document lengths are heavily skewed (the long-tail shapes of
+	// Figure 9), and pre-cut shards leave workers idle behind the slowest
+	// one. The evidence store is commutative, so the schedule cannot change
+	// the result — the testkit differential suite proves it.
 	var wg sync.WaitGroup
-	chunk := (len(docs) + cfg.Workers - 1) / cfg.Workers
-	if chunk == 0 {
-		chunk = 1
-	}
-	for lo := 0; lo < len(docs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(docs) {
-			hi = len(docs)
-		}
+	var next atomic.Int64
+	for w := 0; w < workerCount(cfg.Workers, len(docs)); w++ {
 		wg.Add(1)
-		go func(shard []corpus.Document) {
+		go func() {
 			defer wg.Done()
 			local := int64(0)
-			for _, doc := range shard {
-				for _, sent := range token.SplitSentences(doc.Text) {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					break
+				}
+				for _, sent := range token.SplitSentences(docs[i].Text) {
 					local++
 					tagged := posTagger.Tag(sent)
 					mentions := entTagger.Tag(tagged)
@@ -171,7 +178,7 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 				}
 			}
 			sentences.Add(local)
-		}(docs[lo:hi])
+		}()
 	}
 	wg.Wait()
 	res.Store = store

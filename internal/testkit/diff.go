@@ -1,0 +1,120 @@
+package testkit
+
+import (
+	"fmt"
+
+	"repro/internal/evidence"
+	"repro/internal/pipeline"
+)
+
+// maxDiffs bounds the number of mismatch lines reported per comparison so
+// a systematic failure doesn't drown the test log.
+const maxDiffs = 20
+
+type differ struct {
+	out []string
+}
+
+func (d *differ) addf(format string, args ...any) {
+	if len(d.out) < maxDiffs {
+		d.out = append(d.out, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *differ) check(equal bool, format string, args ...any) {
+	if !equal {
+		d.addf(format, args...)
+	}
+}
+
+// DiffReference compares a parallel pipeline.Result against the
+// single-threaded reference, field by field and bit for bit (floats
+// included: the phases are deterministic, only the schedule differs).
+// The returned slice is empty when the two agree; otherwise it holds one
+// human-readable line per mismatch (capped).
+func DiffReference(ref *Reference, res *pipeline.Result) []string {
+	d := &differ{}
+	d.check(ref.Documents == res.Documents, "Documents: ref %d, got %d", ref.Documents, res.Documents)
+	d.check(ref.Sentences == res.Sentences, "Sentences: ref %d, got %d", ref.Sentences, res.Sentences)
+	d.check(ref.TotalStatements == res.TotalStatements,
+		"TotalStatements: ref %d, got %d", ref.TotalStatements, res.TotalStatements)
+	d.check(ref.DistinctPairs == res.DistinctPairs,
+		"DistinctPairs: ref %d, got %d", ref.DistinctPairs, res.DistinctPairs)
+	d.check(ref.PairsBeforeFilter == res.PairsBeforeFilter,
+		"PairsBeforeFilter: ref %d, got %d", ref.PairsBeforeFilter, res.PairsBeforeFilter)
+
+	d.diffCounts(ref.Counts, res.Store)
+	d.diffGroups(ref.Groups, res.Groups)
+	return d.out
+}
+
+// DiffResults compares two parallel pipeline results (used by the
+// metamorphic invariance tests). Timings are ignored — they are the one
+// field a schedule may legitimately change.
+func DiffResults(a, b *pipeline.Result) []string {
+	d := &differ{}
+	d.check(a.Documents == b.Documents, "Documents: %d vs %d", a.Documents, b.Documents)
+	d.check(a.Sentences == b.Sentences, "Sentences: %d vs %d", a.Sentences, b.Sentences)
+	d.check(a.TotalStatements == b.TotalStatements,
+		"TotalStatements: %d vs %d", a.TotalStatements, b.TotalStatements)
+	d.check(a.DistinctPairs == b.DistinctPairs, "DistinctPairs: %d vs %d", a.DistinctPairs, b.DistinctPairs)
+	d.check(a.PairsBeforeFilter == b.PairsBeforeFilter,
+		"PairsBeforeFilter: %d vs %d", a.PairsBeforeFilter, b.PairsBeforeFilter)
+	d.diffSnapshots(a.Store.Snapshot(), b.Store.Snapshot())
+	d.diffGroups(a.Groups, b.Groups)
+	return d.out
+}
+
+func (d *differ) diffCounts(want map[evidence.Key]evidence.Counts, store *evidence.Store) {
+	snap := store.Snapshot()
+	if len(snap) != len(want) {
+		d.addf("store keys: ref %d, got %d", len(want), len(snap))
+	}
+	for _, e := range snap {
+		if c, ok := want[e.Key]; !ok {
+			d.addf("store has unexpected key %v/%q (+%d/-%d)", e.Entity, e.Property, e.Pos, e.Neg)
+		} else if c != e.Counts {
+			d.addf("counts for %v/%q: ref +%d/-%d, got +%d/-%d",
+				e.Entity, e.Property, c.Pos, c.Neg, e.Pos, e.Neg)
+		}
+	}
+}
+
+func (d *differ) diffSnapshots(a, b []evidence.Entry) {
+	if len(a) != len(b) {
+		d.addf("store keys: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			d.addf("store entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func (d *differ) diffGroups(a, b []pipeline.GroupResult) {
+	if len(a) != len(b) {
+		d.addf("groups: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		ga, gb := &a[i], &b[i]
+		if ga.Key != gb.Key {
+			d.addf("group %d key: %v vs %v", i, ga.Key, gb.Key)
+			continue
+		}
+		d.check(ga.Model.Params == gb.Model.Params,
+			"group %v params: %+v vs %+v", ga.Key, ga.Model.Params, gb.Model.Params)
+		d.check(ga.Trace.Iterations == gb.Trace.Iterations,
+			"group %v EM iterations: %d vs %d", ga.Key, ga.Trace.Iterations, gb.Trace.Iterations)
+		if len(ga.Entities) != len(gb.Entities) {
+			d.addf("group %v entities: %d vs %d", ga.Key, len(ga.Entities), len(gb.Entities))
+			continue
+		}
+		for j := range ga.Entities {
+			if ga.Entities[j] != gb.Entities[j] {
+				d.addf("group %v entity %d: %+v vs %+v", ga.Key, j, ga.Entities[j], gb.Entities[j])
+			}
+		}
+	}
+}
