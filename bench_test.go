@@ -483,6 +483,64 @@ func BenchmarkEvidenceStoreAdd(b *testing.B) {
 	}
 }
 
+// benchEvidenceStore builds a deterministic store shaped like a real run:
+// every KB entity, a skewed property distribution, mixed polarities.
+func benchEvidenceStore(base *kb.KB, seed uint64, statements int) *evidence.Store {
+	props := []string{"cute", "big", "warm", "dangerous", "beautiful", "old",
+		"crowded", "cheap", "quiet", "fast", "noisy", "clean", "very big",
+		"safe", "pretty", "green", "famous", "remote", "rainy", "flat"}
+	rng := stats.NewRNG(seed)
+	s := evidence.NewStore()
+	st := extract.Statement{}
+	for i := 0; i < statements; i++ {
+		st.Entity = kb.EntityID(rng.Intn(base.Len()))
+		st.Property = props[rng.Intn(1+rng.Intn(len(props)))]
+		st.Polarity = extract.Positive
+		if rng.Bernoulli(0.25) {
+			st.Polarity = extract.Negative
+		}
+		s.Add(st)
+	}
+	return s
+}
+
+// BenchmarkGroupingThroughput measures the single-pass parallel grouping
+// phase (before-ρ count + grouped aggregates) on a populated store.
+func BenchmarkGroupingThroughput(b *testing.B) {
+	base := kb.Default(1)
+	s := benchEvidenceStore(base, 11, 200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, before := evidence.ParallelGroup(s, base, 50, 0)
+		if len(groups) == 0 || before == 0 {
+			b.Fatal("grouping produced nothing")
+		}
+	}
+}
+
+// BenchmarkStoreMergeThroughput measures folding worker-sized evidence
+// shards into a shared store — the reduce step of worker-local
+// aggregation.
+func BenchmarkStoreMergeThroughput(b *testing.B) {
+	base := kb.Default(1)
+	shards := make([]*evidence.Store, 8)
+	for i := range shards {
+		shards[i] = benchEvidenceStore(base, uint64(20+i), 25_000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := evidence.NewStore()
+		for _, src := range shards {
+			dst.Merge(src)
+		}
+		if dst.Len() == 0 {
+			b.Fatal("merge produced nothing")
+		}
+	}
+}
+
 // BenchmarkAnnotationLayer measures the annotate-once architecture: the
 // cost of annotation vs the cost of one extraction pass over annotations.
 func BenchmarkAnnotationLayer(b *testing.B) {

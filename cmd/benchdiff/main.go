@@ -25,7 +25,17 @@ import (
 // defaultBench is the fast, low-variance subset: the end-to-end pipeline,
 // the NLP front end, and the hot inner loops. The table/figure
 // reproduction benches are excluded — they are experiments, not gates.
-const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd"
+const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput"
+
+// allocGated lists the benchmarks whose allocs/op is gated alongside
+// ns/op: the hot paths whose allocation discipline the scratch-reuse
+// work bought, where a creeping alloc count is a regression even when
+// wall time hides it on an idle machine.
+var allocGated = map[string]bool{
+	"PipelinePhases":       true,
+	"Tokenize":             true,
+	"ExtractionThroughput": true,
+}
 
 // Sample is one benchmark's recorded performance.
 type Sample struct {
@@ -217,6 +227,12 @@ func diff(w *os.File, base Baseline, cur map[string]Sample, tol float64) int {
 			regressions++
 		} else if delta < -tol {
 			status = "  improved"
+		}
+		if allocGated[n] && b.AllocsOp > 0 {
+			if allocDelta := (c.AllocsOp - b.AllocsOp) / b.AllocsOp; allocDelta > tol {
+				status += fmt.Sprintf("  ALLOC REGRESSION (%+.1f%%)", allocDelta*100)
+				regressions++
+			}
 		}
 		fmt.Fprintf(w, "%-24s %14.0f %14.0f %+7.1f%% %8.0f%s\n", n, b.NsOp, c.NsOp, delta*100, c.AllocsOp, status)
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no -in, a demonstration corpus is generated on the fly.
 package main
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/corpus"
@@ -21,6 +24,12 @@ import (
 )
 
 func main() {
+	// run holds the real logic so profile writes (deferred there) happen
+	// before the process exits; os.Exit here would skip defers.
+	os.Exit(run())
+}
+
+func run() int {
 	rho := flag.Int64("rho", 100, "minimum statements per (type, property) pair")
 	queryStr := flag.String("query", "", "answer a subjective query (e.g. 'big cities') instead of dumping groups")
 	version := flag.Int("version", 4, "extraction pattern version 1-4")
@@ -28,7 +37,37 @@ func main() {
 	top := flag.Int("top", 10, "entities to print per modelled group")
 	in := flag.String("in", "", "input corpus (JSON lines); empty generates a demo snapshot")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	sys := surveyor.NewSystemWithBuiltinKB(*seed)
 
@@ -45,13 +84,13 @@ func main() {
 		f, err := os.Open(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		loaded, err := corpus.ReadJSONL(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, d := range loaded {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
@@ -69,12 +108,12 @@ func main() {
 		answers, err := res.Query(*queryStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		for _, a := range answers {
 			fmt.Printf("%s %-24s p=%.3f (+%d/-%d)\n", "+", a.Entity, a.Probability, a.Pos, a.Neg)
 		}
-		return
+		return 0
 	}
 
 	for _, g := range res.Groups() {
@@ -93,4 +132,5 @@ func main() {
 				eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
 		}
 	}
+	return 0
 }

@@ -187,8 +187,10 @@ func (d *decoder) sentence() Sentence {
 		tag := lexicon.Tag(d.uvarint())
 		start := int(d.uvarint())
 		end := int(d.uvarint())
+		// token.New fills the lowercase cache, so decoded documents are
+		// byte-identical to freshly annotated ones.
 		s.Tokens = append(s.Tokens, pos.Tagged{
-			Token: token.Token{Text: text, Start: start, End: end},
+			Token: token.New(text, start, end),
 			Tag:   tag,
 		})
 	}

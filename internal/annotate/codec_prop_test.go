@@ -64,8 +64,10 @@ func randomSentence(rng *stats.RNG) Sentence {
 }
 
 func randomToken(rng *stats.RNG, text string, start, end int) pos.Tagged {
+	// token.New fills the lowercase cache, matching what the decoder emits
+	// so DeepEqual sees identical tokens on both sides of the round trip.
 	return pos.Tagged{
-		Token: token.Token{Text: text, Start: start, End: end},
+		Token: token.New(text, start, end),
 		Tag:   lexicon.Tag(rng.IntRange(int(lexicon.Other), int(lexicon.Mark))),
 	}
 }

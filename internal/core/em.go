@@ -126,11 +126,13 @@ type emAggregates struct {
 }
 
 // aggregates runs the E-step and reduces the responsibilities into the
-// sufficient statistics — a single O(m) pass.
+// sufficient statistics — a single O(m) pass with the model's log-rates
+// hoisted out of the loop.
 func aggregates(tuples []Tuple, m Model) emAggregates {
+	rates := newPoissonRates(m.Params)
 	var g emAggregates
 	for _, c := range tuples {
-		r := m.PosteriorPositive(c)
+		r := rates.posterior(c)
 		g.gpp += float64(c.Pos) * r
 		g.gnp += float64(c.Neg) * r
 		g.gpn += float64(c.Pos) * (1 - r)

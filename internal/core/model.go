@@ -63,14 +63,63 @@ type Model struct {
 	Params Params
 }
 
+// poissonRates caches the four Poisson rates of a model together with
+// their logarithms, so per-tuple likelihood evaluations cost a multiply
+// and a table lookup instead of a math.Log and an Lgamma. logPoisson
+// performs the exact operations of stats.LogPoissonPMF in the same order,
+// so cached evaluation is bit-identical to the uncached API.
+type poissonRates struct {
+	lpp, lnp, lpn, lnn         float64
+	logpp, lognp, logpn, lognn float64
+}
+
+func newPoissonRates(p Params) poissonRates {
+	lpp, lnp, lpn, lnn := p.Lambdas()
+	return poissonRates{
+		lpp: lpp, lnp: lnp, lpn: lpn, lnn: lnn,
+		logpp: safeLog(lpp), lognp: safeLog(lnp),
+		logpn: safeLog(lpn), lognn: safeLog(lnn),
+	}
+}
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}
+
+func logPoisson(k int, lambda, logLambda float64) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	if lambda <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return float64(k)*logLambda - lambda - stats.LogFactorial(k)
+}
+
+// logBranches returns the log-likelihoods of the tuple under the
+// positive-opinion and negative-opinion branches.
+func (r poissonRates) logBranches(c Tuple) (logPos, logNeg float64) {
+	logPos = logPoisson(c.Pos, r.lpp, r.logpp) + logPoisson(c.Neg, r.lnp, r.lognp)
+	logNeg = logPoisson(c.Pos, r.lpn, r.logpn) + logPoisson(c.Neg, r.lnn, r.lognn)
+	return
+}
+
+func (r poissonRates) posterior(c Tuple) float64 {
+	logPos, logNeg := r.logBranches(c)
+	return posteriorFromLogs(logPos, logNeg)
+}
+
 // PosteriorPositive returns Pr(Di = + | C+ = c.Pos, C− = c.Neg) under the
 // Poisson product approximation. It is defined for every tuple, including
 // ⟨0, 0⟩ — the zero-evidence case the model can still classify.
 func (m Model) PosteriorPositive(c Tuple) float64 {
-	lpp, lnp, lpn, lnn := m.Params.Lambdas()
-	logPos := stats.LogPoissonPMF(c.Pos, lpp) + stats.LogPoissonPMF(c.Neg, lnp)
-	logNeg := stats.LogPoissonPMF(c.Pos, lpn) + stats.LogPoissonPMF(c.Neg, lnn)
-	return posteriorFromLogs(logPos, logNeg)
+	return newPoissonRates(m.Params).posterior(c)
 }
 
 // PosteriorPositiveExact computes the posterior with the exact trinomial
@@ -97,12 +146,12 @@ func posteriorFromLogs(logPos, logNeg float64) float64 {
 // LogLikelihood returns the total observed-data log-likelihood
 // Σ_i log(0.5·Pr(E_i|D=+) + 0.5·Pr(E_i|D=−)) of the tuples under the model.
 func (m Model) LogLikelihood(tuples []Tuple) float64 {
-	lpp, lnp, lpn, lnn := m.Params.Lambdas()
+	r := newPoissonRates(m.Params)
 	ll := 0.0
 	log05 := math.Log(0.5)
 	for _, c := range tuples {
-		logPos := log05 + stats.LogPoissonPMF(c.Pos, lpp) + stats.LogPoissonPMF(c.Neg, lnp)
-		logNeg := log05 + stats.LogPoissonPMF(c.Pos, lpn) + stats.LogPoissonPMF(c.Neg, lnn)
+		logPos := log05 + logPoisson(c.Pos, r.lpp, r.logpp) + logPoisson(c.Neg, r.lnp, r.lognp)
+		logNeg := log05 + logPoisson(c.Pos, r.lpn, r.logpn) + logPoisson(c.Neg, r.lnn, r.lognn)
 		ll += stats.LogSumExp(logPos, logNeg)
 	}
 	return ll
@@ -154,9 +203,10 @@ type Result struct {
 
 // Classify returns the posterior probability and decision for every tuple.
 func (m Model) Classify(tuples []Tuple) []Result {
+	r := newPoissonRates(m.Params)
 	out := make([]Result, len(tuples))
 	for i, c := range tuples {
-		p := m.PosteriorPositive(c)
+		p := r.posterior(c)
 		out[i] = Result{Probability: p, Opinion: Decide(p)}
 	}
 	return out

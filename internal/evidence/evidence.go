@@ -12,8 +12,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/extract"
 	"repro/internal/kb"
@@ -77,6 +80,56 @@ func (s *Store) Add(st extract.Statement) {
 	}
 	sh.m[k] = c
 	sh.mu.Unlock()
+}
+
+// Local is a worker-private, unlocked statement accumulator. A worker adds
+// its statements here and folds the result into the shared Store once with
+// FlushTo, replacing a shard-mutex round trip per statement with one bulk
+// merge per worker. Local is not safe for concurrent use.
+type Local struct {
+	m      map[Key]Counts
+	intern map[string]string // property -> canonical copy
+}
+
+// NewLocal returns an empty worker-local accumulator.
+func NewLocal() *Local {
+	return &Local{
+		m:      make(map[Key]Counts, 256),
+		intern: make(map[string]string, 128),
+	}
+}
+
+// Add records one statement.
+func (l *Local) Add(st extract.Statement) {
+	prop, ok := l.intern[st.Property]
+	if !ok {
+		// Clone bounds retention: a bare-adjective property string can alias
+		// the full document text through the tokenizer's ToLower fast path;
+		// interning also dedupes the map keys, so hashing repeated
+		// properties works on one small shared string.
+		prop = strings.Clone(st.Property)
+		l.intern[prop] = prop
+	}
+	k := Key{Entity: st.Entity, Property: prop}
+	c := l.m[k]
+	if st.Polarity == extract.Positive {
+		c.Pos++
+	} else {
+		c.Neg++
+	}
+	l.m[k] = c
+}
+
+// Len returns the number of distinct accumulated keys.
+func (l *Local) Len() int { return len(l.m) }
+
+// FlushTo folds the accumulated counts into s and clears the accumulator
+// for reuse. The interning table is kept — its strings stay valid.
+func (l *Local) FlushTo(s *Store) {
+	for k, c := range l.m {
+		s.AddCounts(k, c)
+		delete(l.m, k)
+	}
 }
 
 // AddCounts merges a pre-aggregated tuple for a key.
@@ -240,6 +293,96 @@ func CountGroups(s *Store, base *kb.KB) int {
 		seen[GroupKey{Type: base.Get(e.Entity).Type, Property: e.Property}] = true
 	}
 	return len(seen)
+}
+
+type groupAgg struct {
+	counts map[kb.EntityID]Counts
+	total  int64
+}
+
+// ParallelGroup computes GroupByTypeProperty and CountGroups in one
+// parallel pass over the store's shards, without materialising a sorted
+// snapshot: workers claim shards, build partial (type, property) aggregates,
+// and the partials merge conflict-free because each (entity, property) key
+// lives in exactly one shard. Only the final kept-group list is sorted. The
+// results are identical to the two-snapshot implementation — the grouping
+// property tests prove it.
+func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Group, pairsBeforeFilter int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > storeShards {
+		workers = storeShards
+	}
+	partials := make([]map[GroupKey]*groupAgg, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := map[GroupKey]*groupAgg{}
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= storeShards {
+					break
+				}
+				sh := &s.shards[si]
+				sh.mu.Lock()
+				for k, c := range sh.m {
+					gk := GroupKey{Type: base.Get(k.Entity).Type, Property: k.Property}
+					g := part[gk]
+					if g == nil {
+						g = &groupAgg{counts: map[kb.EntityID]Counts{}}
+						part[gk] = g
+					}
+					g.counts[k.Entity] = c
+					g.total += c.Total()
+				}
+				sh.mu.Unlock()
+			}
+			partials[w] = part
+		}(w)
+	}
+	wg.Wait()
+
+	merged := map[GroupKey]*groupAgg{}
+	for _, part := range partials {
+		for gk, g := range part {
+			m := merged[gk]
+			if m == nil {
+				merged[gk] = g
+				continue
+			}
+			// Disjoint at the entity level: one (entity, property) key maps
+			// to one shard, claimed by one worker.
+			for e, c := range g.counts {
+				m.counts[e] = c
+			}
+			m.total += g.total
+		}
+	}
+	pairsBeforeFilter = len(merged)
+
+	for gk, g := range merged {
+		if g.total < rho {
+			continue
+		}
+		ids := base.OfType(gk.Type)
+		ents := make([]EntityCounts, len(ids))
+		for i, id := range ids {
+			c := g.counts[id]
+			ents[i] = EntityCounts{Entity: id, Pos: c.Pos, Neg: c.Neg}
+		}
+		groups = append(groups, Group{Key: gk, Entities: ents, Statements: g.total})
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].Key.Type != groups[b].Key.Type {
+			return groups[a].Key.Type < groups[b].Key.Type
+		}
+		return groups[a].Key.Property < groups[b].Key.Property
+	})
+	return groups, pairsBeforeFilter
 }
 
 // Save writes the store in a compact binary format: a magic header, then

@@ -1,0 +1,130 @@
+package evidence
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/stats"
+)
+
+// randomStore fills a store with random statements over the test KB and
+// returns the statements so callers can replay them elsewhere.
+func randomStore(rng *stats.RNG, base *kb.KB) (*Store, []extract.Statement) {
+	props := []string{"cute", "big", "warm", "very big", "dangerous", "old",
+		"crowded", "beautiful", "cheap", "quiet"}
+	s := NewStore()
+	n := rng.IntRange(0, 400)
+	stmts := make([]extract.Statement, 0, n)
+	for i := 0; i < n; i++ {
+		st := extract.Statement{
+			Entity:   kb.EntityID(rng.Intn(base.Len())),
+			Property: props[rng.Intn(len(props))],
+			Polarity: extract.Positive,
+		}
+		if rng.Bernoulli(0.3) {
+			st.Polarity = extract.Negative
+		}
+		s.Add(st)
+		stmts = append(stmts, st)
+	}
+	return s, stmts
+}
+
+// TestParallelGroupMatchesTwoSnapshot is the grouping property test: on
+// random stores, the single-pass parallel grouping must return exactly the
+// groups and before-ρ pair count of the two-snapshot implementation
+// (GroupByTypeProperty + CountGroups), for every worker count.
+func TestParallelGroupMatchesTwoSnapshot(t *testing.T) {
+	base := testKB()
+	for seed := uint64(1); seed <= 25; seed++ {
+		rng := stats.NewRNG(seed)
+		s, _ := randomStore(rng, base)
+		rho := int64(rng.Intn(30))
+		wantGroups := GroupByTypeProperty(s, base, rho)
+		wantBefore := CountGroups(s, base)
+		for _, workers := range []int{1, 3, 8, 100} {
+			gotGroups, gotBefore := ParallelGroup(s, base, rho, workers)
+			if gotBefore != wantBefore {
+				t.Fatalf("seed %d workers %d: pairsBeforeFilter = %d, want %d",
+					seed, workers, gotBefore, wantBefore)
+			}
+			if !reflect.DeepEqual(gotGroups, wantGroups) {
+				t.Fatalf("seed %d workers %d rho %d: groups diverge\ngot  %+v\nwant %+v",
+					seed, workers, rho, gotGroups, wantGroups)
+			}
+		}
+	}
+}
+
+// TestParallelGroupEmptyStore pins the degenerate case.
+func TestParallelGroupEmptyStore(t *testing.T) {
+	groups, before := ParallelGroup(NewStore(), testKB(), 1, 4)
+	if len(groups) != 0 || before != 0 {
+		t.Fatalf("empty store: groups=%d before=%d", len(groups), before)
+	}
+}
+
+// TestLocalMatchesDirectAdd replays random statement streams through
+// worker-local accumulators (split across several Locals, as the pipeline
+// does) and asserts the merged store is identical to per-statement Adds.
+func TestLocalMatchesDirectAdd(t *testing.T) {
+	base := testKB()
+	for seed := uint64(1); seed <= 15; seed++ {
+		rng := stats.NewRNG(seed + 100)
+		direct, stmts := randomStore(rng, base)
+
+		viaLocal := NewStore()
+		locals := []*Local{NewLocal(), NewLocal(), NewLocal()}
+		for i, st := range stmts {
+			locals[i%len(locals)].Add(st)
+		}
+		for _, l := range locals {
+			l.FlushTo(viaLocal)
+		}
+		if !reflect.DeepEqual(direct.Snapshot(), viaLocal.Snapshot()) {
+			t.Fatalf("seed %d: local aggregation diverges from direct Add", seed)
+		}
+	}
+}
+
+// TestLocalFlushClears asserts a Local is reusable after FlushTo: the
+// second accumulation must not see counts from the first.
+func TestLocalFlushClears(t *testing.T) {
+	s := NewStore()
+	l := NewLocal()
+	st := extract.Statement{Entity: 0, Property: "cute", Polarity: extract.Positive}
+	l.Add(st)
+	l.FlushTo(s)
+	if l.Len() != 0 {
+		t.Fatalf("Len after flush = %d", l.Len())
+	}
+	l.Add(st)
+	l.FlushTo(s)
+	if c := s.Get(Key{Entity: 0, Property: "cute"}); c.Pos != 2 {
+		t.Fatalf("two flushed adds: Pos = %d, want 2", c.Pos)
+	}
+}
+
+// TestLocalInternsProperties asserts the interning contract: all keys for
+// one property share one canonical string, not aliases of their sources.
+func TestLocalInternsProperties(t *testing.T) {
+	l := NewLocal()
+	// Two distinct heap strings with equal content.
+	a := fmt.Sprintf("cu%s", "te")
+	b := fmt.Sprintf("c%s", "ute")
+	l.Add(extract.Statement{Entity: 0, Property: a, Polarity: extract.Positive})
+	l.Add(extract.Statement{Entity: 1, Property: b, Polarity: extract.Positive})
+	canon, ok := l.intern["cute"]
+	if !ok {
+		t.Fatal("property not interned")
+	}
+	for k := range l.m {
+		if unsafe.StringData(k.Property) != unsafe.StringData(canon) {
+			t.Fatalf("key property %q does not share the canonical interned backing", k.Property)
+		}
+	}
+}

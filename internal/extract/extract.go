@@ -9,6 +9,8 @@
 package extract
 
 import (
+	"strings"
+
 	"repro/internal/kb"
 	"repro/internal/nlp/depparse"
 	"repro/internal/nlp/lexicon"
@@ -122,26 +124,18 @@ var degreeAdverbs = map[string]bool{
 // Extract returns all evidence statements found in one parsed sentence.
 // mentions must be the entity mentions of the same sentence.
 func (x *Extractor) Extract(tree *depparse.Tree, mentions []tagger.Mention) []Statement {
-	if tree.Root() < 0 || len(mentions) == 0 {
-		return nil
-	}
-	var out []Statement
-	type claim struct {
-		entity   kb.EntityID
-		property string
-		polarity Polarity
-	}
-	seen := map[claim]bool{}
-	emit := func(s Statement) {
-		// One sentence asserts each claim at most once, regardless of how
-		// many patterns reach it.
-		k := claim{s.Entity, s.Property, s.Polarity}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, s)
-		}
-	}
+	return x.ExtractInto(nil, tree, mentions)
+}
 
+// ExtractInto appends all evidence statements found in one parsed sentence
+// to dst and returns the extended slice — the scratch-reuse variant of
+// Extract. Deduplication is per sentence: only statements appended by this
+// call are considered.
+func (x *Extractor) ExtractInto(dst []Statement, tree *depparse.Tree, mentions []tagger.Mention) []Statement {
+	if tree.Root() < 0 || len(mentions) == 0 {
+		return dst
+	}
+	base := len(dst)
 	for i := range tree.Nodes {
 		n := &tree.Nodes[i]
 		if n.Tag != lexicon.Adj {
@@ -153,16 +147,28 @@ func (x *Extractor) Extract(tree *depparse.Tree, mentions []tagger.Mention) []St
 				continue
 			}
 			if ent, ok := x.subjectEntity(tree, i, mentions); ok {
-				x.emitWithConjuncts(tree, i, i, ent, AdjectivalComplement, emit)
+				dst = x.emitWithConjuncts(dst, base, tree, i, i, ent, AdjectivalComplement)
 			}
 		case x.cfg.UseAmod && n.Rel == depparse.Amod:
 			noun := n.Head
 			if ent, ok := x.amodEntity(tree, noun, mentions); ok {
-				x.emitWithConjuncts(tree, i, noun, ent, AdjectivalModifier, emit)
+				dst = x.emitWithConjuncts(dst, base, tree, i, noun, ent, AdjectivalModifier)
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// appendDedup appends s unless an equal claim (entity, property, polarity)
+// was already appended by the current sentence (dst[base:]). Sentences
+// yield a handful of statements at most, so a linear scan beats a map.
+func appendDedup(dst []Statement, base int, s Statement) []Statement {
+	for _, prev := range dst[base:] {
+		if prev.Entity == s.Entity && prev.Polarity == s.Polarity && prev.Property == s.Property {
+			return dst
+		}
+	}
+	return append(dst, s)
 }
 
 // isAcompHead reports whether node i heads an adjectival-complement
@@ -230,33 +236,34 @@ func (x *Extractor) amodEntity(tree *depparse.Tree, noun int, mentions []tagger.
 	return entityAt(mentions, noun)
 }
 
-// emitWithConjuncts emits the statement for adjective adj plus one
+// emitWithConjuncts appends the statement for adjective adj plus one
 // statement per conjoined adjective (Figure 4(c)); top is the pattern's
 // top-level node, used by the constriction filter.
-func (x *Extractor) emitWithConjuncts(tree *depparse.Tree, adj, top int, ent kb.EntityID, pat Pattern, emit func(Statement)) {
+func (x *Extractor) emitWithConjuncts(dst []Statement, base int, tree *depparse.Tree, adj, top int, ent kb.EntityID, pat Pattern) []Statement {
 	if x.cfg.Checks && x.hasConstriction(tree, adj, top) {
-		return
+		return dst
 	}
-	emit(Statement{
+	dst = appendDedup(dst, base, Statement{
 		Entity:   ent,
 		Property: x.buildProperty(tree, adj),
 		Polarity: x.pathPolarity(tree, adj),
 		Pattern:  pat,
 	})
-	for _, c := range tree.ChildrenWith(adj, depparse.Conj) {
-		if tree.Nodes[c].Tag != lexicon.Adj {
+	for _, c := range tree.Children(adj) {
+		if tree.Nodes[c].Rel != depparse.Conj || tree.Nodes[c].Tag != lexicon.Adj {
 			continue
 		}
 		if x.cfg.Checks && x.hasConstriction(tree, c, top) {
 			continue
 		}
-		emit(Statement{
+		dst = appendDedup(dst, base, Statement{
 			Entity:   ent,
 			Property: x.buildProperty(tree, c),
 			Polarity: x.pathPolarity(tree, c),
 			Pattern:  Conjunction,
 		})
 	}
+	return dst
 }
 
 // subjectRestricted reports whether the subject of the pattern at node i
@@ -276,11 +283,18 @@ func (x *Extractor) subjectRestricted(tree *depparse.Tree, i int) bool {
 // positioned after it, restricts the statement to an aspect ("bad for
 // parking") and disqualifies it.
 func (x *Extractor) hasConstriction(tree *depparse.Tree, adj, top int) bool {
-	for _, node := range []int{adj, top} {
-		for _, c := range tree.ChildrenWith(node, depparse.Prep) {
-			if c > node {
-				return true
-			}
+	if prepAfter(tree, adj) {
+		return true
+	}
+	return top != adj && prepAfter(tree, top)
+}
+
+// prepAfter reports whether node has a prepositional child positioned after
+// it in the sentence.
+func prepAfter(tree *depparse.Tree, node int) bool {
+	for _, c := range tree.Children(node) {
+		if c > node && tree.Nodes[c].Rel == depparse.Prep {
+			return true
 		}
 	}
 	return false
@@ -290,29 +304,43 @@ func (x *Extractor) hasConstriction(tree *depparse.Tree, adj, top int) bool {
 // degree-adverb advmod children immediately preceding the adjective,
 // followed by the adjective, all lower-cased.
 func (x *Extractor) buildProperty(tree *depparse.Tree, adj int) string {
+	// Children are in token order; walk backwards to find the contiguous
+	// degree-adverb chain ending immediately before the adjective. Because
+	// the chain is contiguous, the accepted adverbs are exactly the tokens
+	// at positions want+1 .. adj-1.
 	want := adj - 1
-	var advs []int
-	// Children are in token order; walk backwards to build the chain.
-	children := tree.ChildrenWith(adj, depparse.Advmod)
+	children := tree.Children(adj)
 	for k := len(children) - 1; k >= 0; k-- {
 		c := children[k]
-		if c == want && degreeAdverbs[tree.Nodes[c].Lower()] {
-			advs = append([]int{c}, advs...)
+		if c == want && tree.Nodes[c].Rel == depparse.Advmod && degreeAdverbs[tree.Nodes[c].Lower()] {
 			want = c - 1
 		}
 	}
-	prop := ""
-	for _, a := range advs {
-		prop += tree.Nodes[a].Lower() + " "
+	if want == adj-1 {
+		// No adverbs: the property is the bare adjective — no building.
+		return tree.Nodes[adj].Lower()
 	}
-	return prop + tree.Nodes[adj].Lower()
+	var b strings.Builder
+	for a := want + 1; a <= adj; a++ {
+		if a > want+1 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tree.Nodes[a].Lower())
+	}
+	return b.String()
 }
 
 // pathPolarity implements Figure 5: starting at +1, flip the sign at every
-// negated token on the path from the property token to the root.
+// negated token on the path from the property token to the root. A cycle
+// (a parser bug) yields Positive, matching PathToRoot's nil return.
 func (x *Extractor) pathPolarity(tree *depparse.Tree, adj int) Polarity {
 	pol := Positive
-	for _, n := range tree.PathToRoot(adj) {
+	steps := 0
+	for n := adj; n >= 0; n = tree.Nodes[n].Head {
+		if steps > len(tree.Nodes) {
+			return Positive
+		}
+		steps++
 		if tree.IsNegated(n) {
 			pol = -pol
 		}

@@ -49,16 +49,18 @@ func (e *Entity) Attr(name string, def float64) float64 {
 // KB is an in-memory knowledge base. It is immutable after building and
 // safe for concurrent reads.
 type KB struct {
-	entities []Entity
-	byType   map[string][]EntityID
-	byAlias  map[string][]EntityID // lower-cased alias -> candidate IDs
+	entities  []Entity
+	byType    map[string][]EntityID
+	byAlias   map[string][]EntityID // lower-cased alias -> candidate IDs
+	firstSpan map[string]int        // first alias word -> max token count of aliases starting with it
 }
 
 // New returns an empty knowledge base.
 func New() *KB {
 	return &KB{
-		byType:  map[string][]EntityID{},
-		byAlias: map[string][]EntityID{},
+		byType:    map[string][]EntityID{},
+		byAlias:   map[string][]EntityID{},
+		firstSpan: map[string]int{},
 	}
 }
 
@@ -86,6 +88,14 @@ func (kb *KB) index(alias string, id EntityID) {
 	key := strings.ToLower(strings.TrimSpace(alias))
 	if key == "" {
 		return
+	}
+	first, n := key, 1
+	if sp := strings.IndexByte(key, ' '); sp >= 0 {
+		first = key[:sp]
+		n = strings.Count(key, " ") + 1
+	}
+	if n > kb.firstSpan[first] {
+		kb.firstSpan[first] = n
 	}
 	for _, existing := range kb.byAlias[key] {
 		if existing == id {
@@ -131,6 +141,27 @@ func (kb *KB) Types() []string {
 // surface form (case-insensitive). The returned slice must not be modified.
 func (kb *KB) Candidates(surface string) []EntityID {
 	return kb.byAlias[strings.ToLower(surface)]
+}
+
+// CandidatesLower is Candidates for a surface form the caller has already
+// lower-cased — the hot-loop variant that skips strings.ToLower.
+func (kb *KB) CandidatesLower(lower string) []EntityID {
+	return kb.byAlias[lower]
+}
+
+// CandidatesLowerBytes is CandidatesLower over a byte buffer; the map index
+// conversion does not allocate, so callers can probe with a reusable
+// scratch buffer.
+func (kb *KB) CandidatesLowerBytes(lower []byte) []EntityID {
+	return kb.byAlias[string(lower)]
+}
+
+// MaxAliasTokensFor returns the maximum token count of any indexed alias
+// whose first word is firstLower (already lower-cased), or 0 when no alias
+// starts with that word — letting the entity tagger skip n-gram probes that
+// cannot match.
+func (kb *KB) MaxAliasTokensFor(firstLower string) int {
+	return kb.firstSpan[firstLower]
 }
 
 // MaxAliasTokens returns the maximum number of whitespace-separated tokens

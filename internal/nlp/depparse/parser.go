@@ -21,19 +21,51 @@ func New(lex *lexicon.Lexicon) *Parser {
 // fails: tokens it cannot place are attached to the root with the fallback
 // label so the tree is always connected and single-headed.
 func (p *Parser) Parse(tagged []pos.Tagged) *Tree {
-	if len(tagged) == 0 {
-		return &Tree{root: -1, children: [][]int{}}
+	return p.ParseInto(new(Scratch), tagged)
+}
+
+// Scratch holds one worker's reusable parse buffers: the head/relation/
+// placement arrays the builder works in and the output tree itself. A
+// Scratch must not be shared between goroutines.
+type Scratch struct {
+	head   []int
+	rel    []Label
+	placed []bool
+	tree   Tree
+}
+
+func (sc *Scratch) grow(n int) {
+	if cap(sc.head) < n {
+		sc.head = make([]int, n)
+		sc.rel = make([]Label, n)
+		sc.placed = make([]bool, n)
+	} else {
+		sc.head = sc.head[:n]
+		sc.rel = sc.rel[:n]
+		sc.placed = sc.placed[:n]
 	}
-	b := &builder{
+}
+
+// ParseInto is the scratch-reuse variant of Parse: the returned tree is
+// owned by sc and valid only until the next ParseInto call with the same
+// scratch.
+func (p *Parser) ParseInto(sc *Scratch, tagged []pos.Tagged) *Tree {
+	if len(tagged) == 0 {
+		sc.tree = Tree{root: -1, children: sc.tree.children[:0]}
+		return &sc.tree
+	}
+	sc.grow(len(tagged))
+	b := builder{
 		lex:    p.lex,
 		toks:   tagged,
-		head:   make([]int, len(tagged)),
-		rel:    make([]Label, len(tagged)),
-		placed: make([]bool, len(tagged)),
+		head:   sc.head,
+		rel:    sc.rel,
+		placed: sc.placed,
 	}
 	for i := range b.head {
 		b.head[i] = -1
 		b.rel[i] = Dep
+		b.placed[i] = false
 	}
 	root := b.parseClause(0, len(tagged))
 	if root < 0 {
@@ -45,7 +77,8 @@ func (p *Parser) Parse(tagged []pos.Tagged) *Tree {
 	b.rel[root] = RootLabel
 	b.placed[root] = true
 	b.sweepUnplaced(root)
-	return newTree(tagged, b.head, b.rel, root)
+	fillTree(&sc.tree, tagged, b.head, b.rel, root)
+	return &sc.tree
 }
 
 type builder struct {

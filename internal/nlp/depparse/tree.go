@@ -52,10 +52,19 @@ type Node struct {
 	Tag   lexicon.Tag
 	Head  int   // index of the head node, -1 for the root
 	Rel   Label // relation to the head
+
+	// lower caches the lower-cased text, carried over from the token so
+	// the extraction hot loop never re-runs strings.ToLower.
+	lower string
 }
 
 // Lower returns the lower-cased token text.
-func (n Node) Lower() string { return strings.ToLower(n.Text) }
+func (n Node) Lower() string {
+	if n.lower != "" {
+		return n.lower
+	}
+	return strings.ToLower(n.Text)
+}
 
 // Tree is a dependency tree over one sentence.
 type Tree struct {
@@ -129,12 +138,21 @@ func (t *Tree) String() string {
 	return b.String()
 }
 
-// finalize computes children lists and validates single-headedness.
+// finalize computes children lists, reusing the tree's existing backing
+// slices when it is being refilled through a Scratch.
 func (t *Tree) finalize() {
-	t.children = make([][]int, len(t.Nodes))
-	for i, n := range t.Nodes {
-		if n.Head >= 0 {
-			t.children[n.Head] = append(t.children[n.Head], i)
+	n := len(t.Nodes)
+	if cap(t.children) < n {
+		t.children = make([][]int, n)
+	} else {
+		t.children = t.children[:n]
+		for i := range t.children {
+			t.children[i] = t.children[i][:0]
+		}
+	}
+	for i := range t.Nodes {
+		if h := t.Nodes[i].Head; h >= 0 {
+			t.children[h] = append(t.children[h], i)
 		}
 	}
 }
@@ -149,13 +167,26 @@ func Assemble(tagged []pos.Tagged, head []int, rel []Label, root int) *Tree {
 	return newTree(tagged, head, rel, root)
 }
 
-// newTree assembles a tree from parallel head/rel arrays.
+// newTree assembles a fresh tree from parallel head/rel arrays.
 func newTree(tagged []pos.Tagged, head []int, rel []Label, root int) *Tree {
-	t := &Tree{root: root}
-	t.Nodes = make([]Node, len(tagged))
-	for i, tg := range tagged {
-		t.Nodes[i] = Node{Index: i, Text: tg.Text, Tag: tg.Tag, Head: head[i], Rel: rel[i]}
+	t := &Tree{}
+	fillTree(t, tagged, head, rel, root)
+	return t
+}
+
+// fillTree (re)populates t from parallel head/rel arrays, reusing t's node
+// and child-list backing storage.
+func fillTree(t *Tree, tagged []pos.Tagged, head []int, rel []Label, root int) {
+	t.root = root
+	if cap(t.Nodes) < len(tagged) {
+		t.Nodes = make([]Node, len(tagged))
+	} else {
+		t.Nodes = t.Nodes[:len(tagged)]
+	}
+	for i := range tagged {
+		tg := &tagged[i]
+		t.Nodes[i] = Node{Index: i, Text: tg.Text, Tag: tg.Tag,
+			Head: head[i], Rel: rel[i], lower: tg.Lower()}
 	}
 	t.finalize()
-	return t
 }

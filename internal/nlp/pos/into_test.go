@@ -1,0 +1,32 @@
+package pos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nlp/lexicon"
+	"repro/internal/nlp/token"
+)
+
+// TestTagIntoMatchesTag checks the append contract of the scratch-reuse
+// variant: prefix preserved, appended suffix equal to the allocating Tag.
+func TestTagIntoMatchesTag(t *testing.T) {
+	tg := New(lexicon.Default())
+	texts := []string{
+		"Kittens are cute.",
+		"The very fast dog doesn't play that visit.",
+		"A crowded city is pretty noisy!",
+	}
+	var buf []Tagged
+	for _, text := range texts {
+		for _, sent := range token.SplitSentences(text) {
+			want := tg.Tag(sent)
+			prefixLen := len(buf)
+			buf = tg.TagInto(buf, sent)
+			if !reflect.DeepEqual(buf[prefixLen:], want) {
+				t.Fatalf("%q: TagInto suffix diverges\ngot  %+v\nwant %+v",
+					text, buf[prefixLen:], want)
+			}
+		}
+	}
+}

@@ -30,17 +30,23 @@ func New(lex *lexicon.Lexicon) *Tagger {
 // Tag tags a full sentence. Ambiguous lexicon entries are resolved with
 // local context; unknown words fall back to suffix and shape heuristics.
 func (tg *Tagger) Tag(sent token.Sentence) []Tagged {
-	out := make([]Tagged, len(sent.Tokens))
+	return tg.TagInto(make([]Tagged, 0, len(sent.Tokens)), sent)
+}
+
+// TagInto appends the tagged tokens of sent to dst and returns the
+// extended slice — the scratch-reuse variant of Tag.
+func (tg *Tagger) TagInto(dst []Tagged, sent token.Sentence) []Tagged {
+	base := len(dst)
 	for i, tok := range sent.Tokens {
-		out[i] = Tagged{Token: tok, Tag: tg.tagOne(sent.Tokens, i)}
+		dst = append(dst, Tagged{Token: tok, Tag: tg.tagOne(sent.Tokens, i)})
 	}
-	tg.contextPass(out)
-	return out
+	tg.contextPass(dst[base:])
+	return dst
 }
 
 func (tg *Tagger) tagOne(toks []token.Token, i int) lexicon.Tag {
 	word := toks[i].Text
-	lower := strings.ToLower(word)
+	lower := toks[i].Lower()
 
 	if tags, ok := tg.lex.Lookup(lower); ok && len(tags) > 0 {
 		return tg.disambiguate(toks, i, tags)
@@ -61,13 +67,13 @@ func (tg *Tagger) disambiguate(toks []token.Token, i int, tags []lexicon.Tag) le
 	}
 	next := func() string {
 		if i+1 < len(toks) {
-			return strings.ToLower(toks[i+1].Text)
+			return toks[i+1].Lower()
 		}
 		return ""
 	}
 	prev := func() string {
 		if i > 0 {
-			return strings.ToLower(toks[i-1].Text)
+			return toks[i-1].Lower()
 		}
 		return ""
 	}
@@ -143,7 +149,7 @@ func (tg *Tagger) guess(toks []token.Token, i int, word, lower string) lexicon.T
 		// before a noun as well ("a crowded city"). Treat as verb only in
 		// clear verbal position (after an auxiliary or pronoun subject).
 		if i > 0 {
-			p := strings.ToLower(toks[i-1].Text)
+			p := toks[i-1].Lower()
 			if tg.lex.HasTag(p, lexicon.Aux) || tg.lex.HasTag(p, lexicon.Pron) {
 				return lexicon.Verb
 			}

@@ -1,0 +1,82 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+)
+
+var intoSamples = []string{
+	"",
+	"Kittens are cute.",
+	"San Francisco is big! Dr. Smith doesn't agree. Really?",
+	"A well-known city. J. Smith visited the U.S. in 2020.",
+	"can't won't it's we're I'm they'd you'll",
+}
+
+// TestTokenizeIntoMatchesTokenize checks the scratch-reuse contract: with a
+// prefilled destination the appended suffix must equal the allocating
+// variant, and the prefix must be untouched.
+func TestTokenizeIntoMatchesTokenize(t *testing.T) {
+	prefix := Tokenize("existing prefix tokens")
+	for _, text := range intoSamples {
+		want := Tokenize(text)
+		dst := append([]Token(nil), prefix...)
+		got := TokenizeInto(dst, text)
+		if !reflect.DeepEqual(got[:len(prefix)], prefix) {
+			t.Fatalf("%q: prefix was modified", text)
+		}
+		if len(want) == 0 && len(got) == len(prefix) {
+			continue
+		}
+		if !reflect.DeepEqual(got[len(prefix):], want) {
+			t.Fatalf("%q: appended tokens diverge\ngot  %+v\nwant %+v", text, got[len(prefix):], want)
+		}
+	}
+}
+
+// TestSplitSentencesIntoMatchesSplit reuses one buffer pair across all
+// samples — as a pipeline worker does — and checks each result against the
+// allocating variant.
+func TestSplitSentencesIntoMatchesSplit(t *testing.T) {
+	var sents []Sentence
+	var toks []Token
+	for round := 0; round < 3; round++ { // reuse across rounds grows caps
+		for _, text := range intoSamples {
+			want := SplitSentences(text)
+			sents, toks = SplitSentencesInto(sents[:0], toks[:0], text)
+			if len(sents) != len(want) {
+				t.Fatalf("%q: %d sentences, want %d", text, len(sents), len(want))
+			}
+			for i := range want {
+				if sents[i].Start != want[i].Start || sents[i].End != want[i].End {
+					t.Fatalf("%q sentence %d: span [%d,%d), want [%d,%d)", text, i,
+						sents[i].Start, sents[i].End, want[i].Start, want[i].End)
+				}
+				if !reflect.DeepEqual(sents[i].Tokens, want[i].Tokens) {
+					t.Fatalf("%q sentence %d: tokens diverge", text, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerCachedAtTokenizeTime pins the satellite fix: tokens coming out
+// of the tokenizer carry their lowercase form, and hand-built tokens still
+// answer Lower correctly through the fallback.
+func TestLowerCachedAtTokenizeTime(t *testing.T) {
+	for _, tok := range Tokenize("San Francisco DOESN'T sleep") {
+		if tok.lower == "" {
+			t.Fatalf("token %q has no cached lower form", tok.Text)
+		}
+		if tok.Lower() != tok.lower {
+			t.Fatalf("token %q: Lower()=%q, cache=%q", tok.Text, tok.Lower(), tok.lower)
+		}
+	}
+	hand := Token{Text: "ABC", Start: 0, End: 3}
+	if hand.Lower() != "abc" {
+		t.Fatalf("fallback Lower = %q", hand.Lower())
+	}
+	if got := New("ABC", 0, 3); got.lower != "abc" {
+		t.Fatalf("New did not fill the cache: %+v", got)
+	}
+}

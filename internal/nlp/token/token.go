@@ -13,10 +13,27 @@ type Token struct {
 	Text  string // surface form as it appeared (contractions split: "n't")
 	Start int    // byte offset of the first byte in the source
 	End   int    // byte offset one past the last byte
+
+	// lower caches the lower-cased surface form. The tokenizer fills it so
+	// the POS/lexicon hot loops never re-run strings.ToLower; tokens built
+	// by hand (tests, codecs) may leave it empty and Lower falls back.
+	lower string
+}
+
+// New builds a token with its lowercase cache filled — the constructor for
+// code that materialises tokens outside the tokenizer (the annotation
+// codec) and needs them identical to tokenizer output.
+func New(text string, start, end int) Token {
+	return Token{Text: text, Start: start, End: end, lower: strings.ToLower(text)}
 }
 
 // Lower returns the lower-cased surface form.
-func (t Token) Lower() string { return strings.ToLower(t.Text) }
+func (t Token) Lower() string {
+	if t.lower != "" {
+		return t.lower
+	}
+	return strings.ToLower(t.Text)
+}
 
 // Sentence is a contiguous span of tokens.
 type Sentence struct {
@@ -50,7 +67,13 @@ var abbreviations = map[string]bool{
 //   - each punctuation rune is its own token;
 //   - hyphenated words stay together ("well-known").
 func Tokenize(text string) []Token {
-	var toks []Token
+	return TokenizeInto(nil, text)
+}
+
+// TokenizeInto appends the tokens of text to dst and returns the extended
+// slice — the scratch-reuse variant of Tokenize for hot loops that process
+// many texts with one buffer.
+func TokenizeInto(dst []Token, text string) []Token {
 	i := 0
 	n := len(text)
 	for i < n {
@@ -63,15 +86,14 @@ func Tokenize(text string) []Token {
 			for j < n && (isWordByte(text[j]) || isInnerByte(text, j)) {
 				j++
 			}
-			word := text[i:j]
-			toks = append(toks, splitClitics(word, i)...)
+			dst = appendWordTokens(dst, text[i:j], i)
 			i = j
 		default:
-			toks = append(toks, Token{Text: string(text[i]), Start: i, End: i + 1})
+			dst = append(dst, New(text[i:i+1], i, i+1))
 			i++
 		}
 	}
-	return toks
+	return dst
 }
 
 func isWordByte(b byte) bool {
@@ -88,9 +110,9 @@ func isInnerByte(text string, j int) bool {
 	return j > 0 && isWordByte(text[j-1]) && j+1 < len(text) && isWordByte(text[j+1])
 }
 
-// splitClitics breaks apostrophe clitics off a word, keeping byte offsets
-// consistent with the source.
-func splitClitics(word string, start int) []Token {
+// appendWordTokens appends a word to dst, breaking apostrophe clitics off
+// while keeping byte offsets consistent with the source.
+func appendWordTokens(dst []Token, word string, start int) []Token {
 	lower := strings.ToLower(word)
 	// Trailing sentence-internal period stays ("U.S." keeps its inner dots
 	// by isInnerByte; a trailing one never reaches here).
@@ -102,43 +124,52 @@ func splitClitics(word string, start int) []Token {
 		if lower[:idx] == "wo" { // won't -> will + n't
 			stem = "will"
 		}
-		return []Token{
-			{Text: stem, Start: start, End: start + idx},
-			{Text: "n't", Start: start + idx, End: start + len(word)},
-		}
+		return append(dst,
+			New(stem, start, start+idx),
+			Token{Text: "n't", Start: start + idx, End: start + len(word), lower: "n't"})
 	}
 	for _, clitic := range []string{"'s", "'re", "'ve", "'ll", "'d", "'m"} {
 		if strings.HasSuffix(lower, clitic) && len(word) > len(clitic) {
 			cut := len(word) - len(clitic)
-			return []Token{
-				{Text: word[:cut], Start: start, End: start + cut},
-				{Text: word[cut:], Start: start + cut, End: start + len(word)},
-			}
+			return append(dst,
+				Token{Text: word[:cut], Start: start, End: start + cut, lower: lower[:cut]},
+				Token{Text: word[cut:], Start: start + cut, End: start + len(word), lower: lower[cut:]})
 		}
 	}
-	return []Token{{Text: word, Start: start, End: start + len(word)}}
+	return append(dst, Token{Text: word, Start: start, End: start + len(word), lower: lower})
 }
 
 // SplitSentences tokenizes text and groups the tokens into sentences.
 // Sentence boundaries are ".", "!", "?" tokens, except after known
 // abbreviations or single capital letters ("J. Smith").
 func SplitSentences(text string) []Sentence {
-	toks := Tokenize(text)
-	var sents []Sentence
+	sents, _ := SplitSentencesInto(nil, nil, text)
+	return sents
+}
+
+// SplitSentencesInto is the scratch-reuse variant of SplitSentences: it
+// tokenizes text into toks (appending), groups the tokens into sentences
+// appended to sents, and returns both extended slices. The returned
+// sentences alias the returned token slice, so they are valid only until
+// the buffers are reused.
+func SplitSentencesInto(sents []Sentence, toks []Token, text string) ([]Sentence, []Token) {
+	tokBase := len(toks)
+	toks = TokenizeInto(toks, text)
+	fresh := toks[tokBase:]
 	begin := 0
-	for i := range toks {
-		if !isSentenceEnd(toks, i) {
+	for i := range fresh {
+		if !isSentenceEnd(fresh, i) {
 			continue
 		}
 		if i+1 > begin {
-			sents = append(sents, makeSentence(toks[begin:i+1]))
+			sents = append(sents, makeSentence(fresh[begin:i+1]))
 		}
 		begin = i + 1
 	}
-	if begin < len(toks) {
-		sents = append(sents, makeSentence(toks[begin:]))
+	if begin < len(fresh) {
+		sents = append(sents, makeSentence(fresh[begin:]))
 	}
-	return sents
+	return sents, toks
 }
 
 func isSentenceEnd(toks []Token, i int) bool {
@@ -147,7 +178,7 @@ func isSentenceEnd(toks []Token, i int) bool {
 		return false
 	}
 	if t == "." && i > 0 {
-		prev := strings.ToLower(toks[i-1].Text)
+		prev := toks[i-1].Lower()
 		prev = strings.TrimSuffix(prev, ".")
 		if abbreviations[prev] {
 			return false
@@ -161,7 +192,5 @@ func isSentenceEnd(toks []Token, i int) bool {
 }
 
 func makeSentence(toks []Token) Sentence {
-	cp := make([]Token, len(toks))
-	copy(cp, toks)
-	return Sentence{Tokens: cp, Start: cp[0].Start, End: cp[len(cp)-1].End}
+	return Sentence{Tokens: toks, Start: toks[0].Start, End: toks[len(toks)-1].End}
 }

@@ -62,6 +62,8 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 		go func() {
 			defer wg.Done()
 			local := int64(0)
+			acc := evidence.NewLocal()
+			var stmts []extract.Statement
 			for {
 				di := int(next.Add(1)) - 1
 				if di >= len(docs) {
@@ -73,11 +75,13 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 					if s.Tree == nil || len(s.Mentions) == 0 {
 						continue
 					}
-					for _, st := range extractor.Extract(s.Tree, s.Mentions) {
-						store.Add(st)
+					stmts = extractor.ExtractInto(stmts[:0], s.Tree, s.Mentions)
+					for _, st := range stmts {
+						acc.Add(st)
 					}
 				}
 			}
+			acc.FlushTo(store)
 			sentences.Add(local)
 		}()
 	}
@@ -110,45 +114,63 @@ func RunFromStore(store *evidence.Store, base *kb.KB, cfg Config) *Result {
 // finishRun performs the grouping and EM phases shared by Run and
 // RunAnnotated, then builds the lookup index.
 func finishRun(res *Result, base *kb.KB, cfg Config) {
+	// Grouping: one parallel per-shard pass computes both the before-ρ pair
+	// count and the grouped aggregates.
 	start := time.Now()
-	res.PairsBeforeFilter = evidence.CountGroups(res.Store, base)
-	groups := evidence.GroupByTypeProperty(res.Store, base, cfg.Rho)
+	groups, before := evidence.ParallelGroup(res.Store, base, cfg.Rho, cfg.Workers)
+	res.PairsBeforeFilter = before
 	res.Timings.Grouping = time.Since(start)
 
+	// EM: a fixed worker pool claims groups through an atomic counter, so
+	// each worker reuses one tuple buffer instead of allocating per group.
+	// (FitAndClassify copies what it keeps.)
 	start = time.Now()
 	res.Groups = make([]GroupResult, len(groups))
-	sem := make(chan struct{}, cfg.Workers)
 	var emWG sync.WaitGroup
-	for gi := range groups {
+	var nextGroup atomic.Int64
+	for w := 0; w < workerCount(cfg.Workers, len(groups)); w++ {
 		emWG.Add(1)
-		sem <- struct{}{}
-		go func(gi int) {
+		go func() {
 			defer emWG.Done()
-			defer func() { <-sem }()
-			g := groups[gi]
-			tuples := make([]core.Tuple, len(g.Entities))
-			for i, ec := range g.Entities {
-				tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
-			}
-			model, results, trace := core.FitAndClassify(tuples, cfg.EM)
-			gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
-				Entities: make([]EntityOpinion, len(g.Entities))}
-			for i, ec := range g.Entities {
-				gr.Entities[i] = EntityOpinion{
-					Entity:      ec.Entity,
-					Pos:         ec.Pos,
-					Neg:         ec.Neg,
-					Probability: results[i].Probability,
-					Opinion:     results[i].Opinion,
+			var tuples []core.Tuple
+			for {
+				gi := int(nextGroup.Add(1)) - 1
+				if gi >= len(groups) {
+					break
 				}
+				g := groups[gi]
+				if cap(tuples) < len(g.Entities) {
+					tuples = make([]core.Tuple, len(g.Entities))
+				} else {
+					tuples = tuples[:len(g.Entities)]
+				}
+				for i, ec := range g.Entities {
+					tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
+				}
+				model, results, trace := core.FitAndClassify(tuples, cfg.EM)
+				gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
+					Entities: make([]EntityOpinion, len(g.Entities))}
+				for i, ec := range g.Entities {
+					gr.Entities[i] = EntityOpinion{
+						Entity:      ec.Entity,
+						Pos:         ec.Pos,
+						Neg:         ec.Neg,
+						Probability: results[i].Probability,
+						Opinion:     results[i].Opinion,
+					}
+				}
+				res.Groups[gi] = gr
 			}
-			res.Groups[gi] = gr
-		}(gi)
+		}()
 	}
 	emWG.Wait()
 	res.Timings.EM = time.Since(start)
 
-	res.index = map[opinionKey]*EntityOpinion{}
+	totalEntities := 0
+	for gi := range res.Groups {
+		totalEntities += len(res.Groups[gi].Entities)
+	}
+	res.index = make(map[opinionKey]*EntityOpinion, totalEntities)
 	res.groupIndex = make(map[evidence.GroupKey]*GroupResult, len(res.Groups))
 	for gi := range res.Groups {
 		g := &res.Groups[gi]

@@ -152,6 +152,10 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	// Figure 9), and pre-cut shards leave workers idle behind the slowest
 	// one. The evidence store is commutative, so the schedule cannot change
 	// the result — the testkit differential suite proves it.
+	//
+	// Each worker owns one set of NLP scratch buffers (reused across every
+	// sentence it processes) and a private evidence accumulator folded into
+	// the shared store once at the end.
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workerCount(cfg.Workers, len(docs)); w++ {
@@ -159,24 +163,37 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 		go func() {
 			defer wg.Done()
 			local := int64(0)
+			acc := evidence.NewLocal()
+			var (
+				sents    []token.Sentence
+				toks     []token.Token
+				tagged   []pos.Tagged
+				mentions []tagger.Mention
+				stmts    []extract.Statement
+				psc      depparse.Scratch
+				tsc      tagger.Scratch
+			)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) {
 					break
 				}
-				for _, sent := range token.SplitSentences(docs[i].Text) {
+				sents, toks = token.SplitSentencesInto(sents[:0], toks[:0], docs[i].Text)
+				for _, sent := range sents {
 					local++
-					tagged := posTagger.Tag(sent)
-					mentions := entTagger.Tag(tagged)
+					tagged = posTagger.TagInto(tagged[:0], sent)
+					mentions = entTagger.TagInto(mentions[:0], &tsc, tagged)
 					if len(mentions) == 0 {
 						continue // no entity, nothing to extract
 					}
-					tree := parser.Parse(tagged)
-					for _, st := range extractor.Extract(tree, mentions) {
-						store.Add(st)
+					tree := parser.ParseInto(&psc, tagged)
+					stmts = extractor.ExtractInto(stmts[:0], tree, mentions)
+					for _, st := range stmts {
+						acc.Add(st)
 					}
 				}
 			}
+			acc.FlushTo(store)
 			sentences.Add(local)
 		}()
 	}

@@ -2,11 +2,27 @@ package stats
 
 import "math"
 
+// logFactTable caches log(n!) for small n — evidence counters are almost
+// always tiny, and Lgamma dominates the EM inner loop otherwise. Entries
+// are computed by the exact same Lgamma call the fallback uses, so the
+// cache is bit-identical to the uncached path.
+var logFactTable = func() [256]float64 {
+	var t [256]float64
+	for i := range t {
+		lg, _ := math.Lgamma(float64(i) + 1)
+		t[i] = lg
+	}
+	return t
+}()
+
 // LogFactorial returns log(n!) using math.Lgamma. Exact to floating
 // precision for all n >= 0.
 func LogFactorial(n int) float64 {
 	if n < 0 {
 		panic("stats: LogFactorial of negative n")
+	}
+	if n < len(logFactTable) {
+		return logFactTable[n]
 	}
 	lg, _ := math.Lgamma(float64(n) + 1)
 	return lg

@@ -1,0 +1,71 @@
+package tagger
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nlp/token"
+)
+
+// TestTagIntoMatchesTag drives one Scratch and one growing destination
+// through a batch of sentences and checks the appended mentions against
+// the allocating Tag — including sentences that link nothing.
+func TestTagIntoMatchesTag(t *testing.T) {
+	_, _, tg, pt := setup()
+	texts := []string{
+		"Kittens are cute.",
+		"San Francisco is a big city.",
+		"Phoenix is a big city.",
+		"Nothing to see here.",
+		"The white shark is a dangerous animal near Palo Alto.",
+		"",
+	}
+	sc := new(Scratch)
+	var buf []Mention
+	for round := 0; round < 2; round++ {
+		for _, text := range texts {
+			for _, sent := range token.SplitSentences(text) {
+				tagged := pt.Tag(sent)
+				want := tg.Tag(tagged)
+				buf = tg.TagInto(buf[:0], sc, tagged)
+				if len(want) == 0 && len(buf) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(buf, want) {
+					t.Fatalf("%q: TagInto = %+v, want %+v", text, buf, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTagIntoPreservesPrefix checks the append contract.
+func TestTagIntoPreservesPrefix(t *testing.T) {
+	_, _, tg, pt := setup()
+	tagged := pt.Tag(token.SplitSentences("Kittens are cute.")[0])
+	prefix := []Mention{{Entity: 42, Start: 7, End: 9, Head: 8}}
+	got := tg.TagInto(append([]Mention(nil), prefix...), new(Scratch), tagged)
+	if len(got) != 1+len(tg.Tag(tagged)) || !reflect.DeepEqual(got[0], prefix[0]) {
+		t.Fatalf("prefix not preserved: %+v", got)
+	}
+}
+
+// TestFirstWordSpanHint pins the probe-skipping fast path: a sentence
+// whose tokens never start an alias must still go through the full
+// plausibility logic when one does.
+func TestFirstWordSpanHint(t *testing.T) {
+	base, _, tg, pt := setup()
+	if got := base.MaxAliasTokensFor("zzz"); got != 0 {
+		t.Fatalf("MaxAliasTokensFor(zzz) = %d, want 0", got)
+	}
+	if got := base.MaxAliasTokensFor("san"); got != 2 {
+		t.Fatalf("MaxAliasTokensFor(san) = %d, want 2", got)
+	}
+	// "San" alone must still be blocked by the failing longer span when the
+	// two-token surface exists: greedy longest-match semantics unchanged.
+	tagged := pt.Tag(token.SplitSentences("San Francisco is big.")[0])
+	mentions := tg.Tag(tagged)
+	if len(mentions) != 1 || mentions[0].End-mentions[0].Start != 2 {
+		t.Fatalf("mentions = %+v", mentions)
+	}
+}

@@ -33,36 +33,66 @@ func (m Mention) Covers(i int) bool { return i >= m.Start && i < m.End }
 // Tagger links entity mentions. It is immutable after construction and
 // safe for concurrent use.
 type Tagger struct {
-	kb     *kb.KB
-	lex    *lexicon.Lexicon
-	window int
+	kb        *kb.KB
+	lex       *lexicon.Lexicon
+	window    int
+	typeNouns map[string]typePair // entity type -> lower-cased singular/plural
 }
+
+type typePair struct{ singular, plural string }
 
 // New builds a tagger over the given knowledge base and lexicon.
 func New(base *kb.KB, lex *lexicon.Lexicon) *Tagger {
-	return &Tagger{kb: base, lex: lex, window: base.MaxAliasTokens()}
+	t := &Tagger{
+		kb:        base,
+		lex:       lex,
+		window:    base.MaxAliasTokens(),
+		typeNouns: map[string]typePair{},
+	}
+	for _, typ := range base.Types() {
+		t.typeNouns[typ] = typePair{
+			singular: strings.ToLower(typ),
+			plural:   strings.ToLower(kb.Pluralize(typ)),
+		}
+	}
+	return t
+}
+
+// Scratch holds one worker's reusable probe buffer. A Scratch must not be
+// shared between goroutines.
+type Scratch struct {
+	surface []byte
 }
 
 // Tag scans a tagged sentence left to right with greedy longest-match and
 // returns the resolved, non-overlapping mentions in order.
 func (t *Tagger) Tag(tagged []pos.Tagged) []Mention {
-	var mentions []Mention
+	return t.TagInto(nil, new(Scratch), tagged)
+}
+
+// TagInto is the scratch-reuse variant of Tag: mentions are appended to dst
+// and the extended slice returned.
+func (t *Tagger) TagInto(dst []Mention, sc *Scratch, tagged []pos.Tagged) []Mention {
 	i := 0
 	for i < len(tagged) {
-		m, ok := t.matchAt(tagged, i)
+		m, ok := t.matchAt(sc, tagged, i)
 		if !ok {
 			i++
 			continue
 		}
-		mentions = append(mentions, m)
+		dst = append(dst, m)
 		i = m.End
 	}
-	return mentions
+	return dst
 }
 
 // matchAt tries to link a mention starting at token i, longest span first.
-func (t *Tagger) matchAt(tagged []pos.Tagged, i int) (Mention, bool) {
-	maxLen := t.window
+func (t *Tagger) matchAt(sc *Scratch, tagged []pos.Tagged, i int) (Mention, bool) {
+	// No alias starts with this word: no span from i can match.
+	maxLen := t.kb.MaxAliasTokensFor(tagged[i].Lower())
+	if maxLen == 0 {
+		return Mention{}, false
+	}
 	if rest := len(tagged) - i; rest < maxLen {
 		maxLen = rest
 	}
@@ -70,8 +100,13 @@ func (t *Tagger) matchAt(tagged []pos.Tagged, i int) (Mention, bool) {
 		if !plausibleSpan(tagged[i : i+n]) {
 			continue
 		}
-		surface := joinTokens(tagged[i : i+n])
-		cands := t.kb.Candidates(surface)
+		var cands []kb.EntityID
+		if n == 1 {
+			cands = t.kb.CandidatesLower(tagged[i].Lower())
+		} else {
+			sc.surface = appendLowerSurface(sc.surface[:0], tagged[i:i+n])
+			cands = t.kb.CandidatesLowerBytes(sc.surface)
+		}
 		if len(cands) == 0 {
 			continue
 		}
@@ -83,6 +118,17 @@ func (t *Tagger) matchAt(tagged []pos.Tagged, i int) (Mention, bool) {
 		return Mention{}, false
 	}
 	return Mention{}, false
+}
+
+// appendLowerSurface appends the space-joined lower-cased span text to buf.
+func appendLowerSurface(buf []byte, span []pos.Tagged) []byte {
+	for i := range span {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, span[i].Lower()...)
+	}
+	return buf
 }
 
 // plausibleSpan rejects spans that cannot be a name: punctuation or verbs
@@ -98,14 +144,6 @@ func plausibleSpan(span []pos.Tagged) bool {
 	return true
 }
 
-func joinTokens(span []pos.Tagged) string {
-	parts := make([]string, len(span))
-	for i, tok := range span {
-		parts[i] = tok.Text
-	}
-	return strings.Join(parts, " ")
-}
-
 // resolve picks one entity among the candidates, or fails.
 func (t *Tagger) resolve(tagged []pos.Tagged, cands []kb.EntityID, span []pos.Tagged) (kb.EntityID, bool) {
 	type scored struct {
@@ -119,14 +157,15 @@ func (t *Tagger) resolve(tagged []pos.Tagged, cands []kb.EntityID, span []pos.Ta
 		if e.Proper && !startsUpper(span[0].Text) {
 			continue // proper names must be capitalised in text
 		}
+		hasCtx := t.typeContext(tagged, e.Type)
 		score := 0.0
-		if t.typeContext(tagged, e.Type) {
+		if hasCtx {
 			score += 2
 		}
 		score += e.Attr("prominence", 0.5)
 		if e.Ambiguous {
 			// Ambiguous names need explicit type context to link at all.
-			if !t.typeContext(tagged, e.Type) {
+			if !hasCtx {
 				continue
 			}
 			score -= 0.25
@@ -151,11 +190,13 @@ func (t *Tagger) resolve(tagged []pos.Tagged, cands []kb.EntityID, span []pos.Ta
 // typeContext reports whether the sentence mentions the type noun
 // (singular or plural) of the given entity type.
 func (t *Tagger) typeContext(tagged []pos.Tagged, typ string) bool {
-	plural := strings.ToLower(kb.Pluralize(typ))
-	typ = strings.ToLower(typ)
+	tp, ok := t.typeNouns[typ]
+	if !ok {
+		tp = typePair{singular: strings.ToLower(typ), plural: strings.ToLower(kb.Pluralize(typ))}
+	}
 	for _, tok := range tagged {
 		w := tok.Lower()
-		if w == typ || w == plural {
+		if w == tp.singular || w == tp.plural {
 			return true
 		}
 	}
