@@ -1,0 +1,47 @@
+// Package critical records which packages of the repository each
+// surveyorlint analyzer binds to. Paths are matched by suffix so the same
+// tables work for the real module ("repro/internal/evidence"), for the
+// analyzers' testdata fixtures ("internal/evidence"), and for a future
+// module rename.
+package critical
+
+import "strings"
+
+// determinism lists the packages under the bit-identical determinism
+// contract: their outputs must not depend on map iteration order, ambient
+// randomness, or the clock. PR 1's differential harness checks the
+// contract dynamically; detmap and detrand enforce it statically.
+var determinism = []string{
+	"internal/core",
+	"internal/evidence",
+	"internal/testkit",
+	"internal/annotate",
+}
+
+// hotPath lists the packages on the ~90k docs/sec extraction path, where
+// the allocating NLP wrappers must not reappear (PR 2's scratch-reuse
+// APIs).
+var hotPath = []string{
+	"internal/pipeline",
+}
+
+// Determinism reports whether the package is determinism-critical.
+func Determinism(pkgPath string) bool { return matches(pkgPath, determinism) }
+
+// HotPath reports whether the package is on the extraction hot path.
+func HotPath(pkgPath string) bool { return matches(pkgPath, hotPath) }
+
+func matches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if PathHasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathHasSuffix reports whether path equals suffix or ends with
+// "/"+suffix — i.e. suffix matches on package-path element boundaries.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

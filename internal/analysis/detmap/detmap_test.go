@@ -1,0 +1,13 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detmap"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer,
+		"internal/core", "pkg/other")
+}

@@ -1,0 +1,79 @@
+// Fixture for the detmap analyzer. The package path ends in
+// "internal/core", so it counts as determinism-critical.
+package core
+
+import "sort"
+
+// leak consumes map values in iteration order without sorting: flagged.
+func leak(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order`
+		sum -= sum * v
+	}
+	return sum
+}
+
+// unsortedSink collects keys but never sorts them: flagged.
+func unsortedSink(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the repository's sorted-snapshot idiom: clean.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedEntries collects full entries and sorts with sort.Slice: clean.
+func sortedEntries(m map[string]int) []entry {
+	var out []entry
+	for k, v := range m {
+		out = append(out, entry{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+type entry struct {
+	key string
+	val int
+}
+
+// countOnly binds neither key nor value, so order cannot leak: clean.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// overSlice ranges over a slice, not a map: clean.
+func overSlice(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// sortedInNestedLoop mirrors evidence.Store.Snapshot: the map range sits
+// inside an outer loop and the sink is sorted after both: clean.
+func sortedInNestedLoop(shards []map[string]int) []string {
+	var keys []string
+	for _, m := range shards {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

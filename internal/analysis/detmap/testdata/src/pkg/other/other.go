@@ -1,0 +1,12 @@
+// Fixture proving detmap ignores packages outside the
+// determinism-critical set: the same loop that is flagged in
+// internal/core produces no diagnostic here.
+package other
+
+func leak(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum -= sum * v
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+// Fixture proving detrand ignores packages outside the
+// determinism-critical set.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() int64 {
+	return int64(rand.Intn(10)) + time.Now().UnixNano()
+}

@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Allow is one parsed //lint:allow directive. A directive suppresses
+// findings of one analyzer on its own line or, when written as a full-line
+// comment, on the line immediately below.
+//
+//	m := snapshot() //lint:allow detmap commutative fold, order cannot leak
+//
+//	//lint:allow detrand wall-clock is reported, never consumed
+//	start := time.Now()
+//
+// The reason is mandatory: an allow without a justification is itself a
+// finding.
+type Allow struct {
+	Pos      token.Position // start of the directive comment
+	Analyzer string
+	Reason   string
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// CollectAllows scans the package's comments for //lint:allow directives.
+// Malformed directives (no analyzer, or no reason) are returned as
+// findings attributed to the pseudo-analyzer "lint".
+func CollectAllows(pkg *Package, known map[string]bool) ([]*Allow, []Finding) {
+	var allows []*Allow
+	var problems []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					problems = append(problems, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: missing analyzer name",
+					})
+				case !known[name]:
+					problems = append(problems, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", name),
+					})
+				case reason == "":
+					problems = append(problems, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:allow %s needs a one-line justification", name),
+					})
+				default:
+					allows = append(allows, &Allow{Pos: pos, Analyzer: name, Reason: reason})
+				}
+			}
+		}
+	}
+	return allows, problems
+}
+
+// Suppress filters findings through the allow directives. A finding is
+// suppressed when an allow for its analyzer sits on the same line of the
+// same file, or on the line directly above. Unused allows are returned as
+// "lint" findings so stale suppressions cannot linger.
+func Suppress(findings []Finding, allows []*Allow) (kept, problems []Finding) {
+	for _, f := range findings {
+		suppressed := false
+		for _, a := range allows {
+			if a.Analyzer != f.Analyzer || a.Pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if a.Pos.Line == f.Pos.Line || a.Pos.Line == f.Pos.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		if !a.used {
+			problems = append(problems, Finding{
+				Analyzer: "lint",
+				Pos:      a.Pos,
+				Message:  fmt.Sprintf("unused //lint:allow %s (nothing to suppress here — remove it)", a.Analyzer),
+			})
+		}
+	}
+	return kept, problems
+}
+
+// SortFindings orders findings by file, line, column, analyzer for stable
+// output — the linter obeys its own determinism rules.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,49 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and calls of function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// RootIdentObj unwraps parens and type conversions around an expression
+// and, if what remains is an identifier, returns the object it denotes.
+// Used to connect "the slice that was appended to" with "the slice that
+// was sorted".
+func RootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// Conversion like byKey(keys): look through to the operand.
+			if len(x.Args) == 1 && info.Types[x.Fun].IsType() {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}

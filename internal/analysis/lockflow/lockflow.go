@@ -1,0 +1,338 @@
+// Package lockflow defines an analyzer for the pipeline's concurrency
+// invariants. It reports three classes of problem, in every package:
+//
+//   - copies of sync.Mutex / sync.RWMutex values (assignment, call
+//     arguments, range values, returns) — a copied lock guards nothing;
+//   - channel sends performed while a mutex is held in the same function —
+//     a send can block indefinitely, turning a fine-grained critical
+//     section into a convoy (the evidence store's sharded mutexes assume
+//     critical sections never block);
+//   - evidence.Local values escaping their goroutine — Local is unlocked
+//     by construction (PR 2), which is only sound while a single goroutine
+//     owns it, so sending one on a channel, passing one to a spawned
+//     goroutine, or capturing one in a `go` closure is reported.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/critical"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lockflow analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockflow",
+	Doc: "flags mutex value copies, channel sends under a held lock, and " +
+		"evidence.Local values escaping their goroutine",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		checkCopies(pass, file)
+		checkSendsUnderLock(pass, file)
+		checkLocalEscape(pass, file)
+	}
+	return nil, nil
+}
+
+// --- mutex value copies ---
+
+// containsLock reports whether a value of type t embeds a sync.Mutex or
+// sync.RWMutex (directly, via struct fields, or via array elements).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// copiesLock reports whether evaluating e as a value copies a lock: e must
+// denote existing addressable state (identifier, field, element, deref) of
+// a lock-containing type. Composite literals and &x do not copy.
+func copiesLock(info *types.Info, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return containsLock(tv.Type, nil)
+}
+
+func checkCopies(pass *framework.Pass, file *ast.File) {
+	report := func(pos ast.Node, what string, t types.Type) {
+		pass.Reportf(pos.Pos(), "%s copies a value containing a sync mutex (%s); use a pointer",
+			what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if copiesLock(pass.TypesInfo, rhs) {
+					report(rhs, "assignment", pass.TypesInfo.Types[rhs].Type)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				if copiesLock(pass.TypesInfo, v) {
+					report(v, "variable initialization", pass.TypesInfo.Types[v].Type)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if copiesLock(pass.TypesInfo, arg) {
+					report(arg, "call argument", pass.TypesInfo.Types[arg].Type)
+				}
+			}
+		case *ast.RangeStmt:
+			if t := rangeValueType(pass.TypesInfo, x.Value); t != nil && containsLock(t, nil) {
+				report(x.Value, "range value", t)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if copiesLock(pass.TypesInfo, res) {
+					report(res, "return", pass.TypesInfo.Types[res].Type)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeValueType resolves the type of a range statement's value variable,
+// which lives in Defs when declared by := and in Types when assigned.
+func rangeValueType(info *types.Info, v ast.Expr) types.Type {
+	if v == nil {
+		return nil
+	}
+	if id, ok := v.(*ast.Ident); ok {
+		if obj, ok := info.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[v]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// --- channel sends while a lock is held ---
+
+// lockMethods and unlockMethods are the sync.Mutex/RWMutex methods that
+// open and close a critical section.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func checkSendsUnderLock(pass *framework.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				scanBlock(pass, fn.Body.List, map[string]bool{})
+			}
+			return false
+		case *ast.FuncLit:
+			scanBlock(pass, fn.Body.List, map[string]bool{})
+			return false
+		}
+		return true
+	})
+}
+
+// mutexOfCall returns a stable textual key for the receiver of a
+// Lock/Unlock-style call on a sync mutex, or "" if the call is not one.
+func mutexOfCall(pass *framework.Pass, call *ast.CallExpr, methods map[string]bool) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !methods[sel.Sel.Name] || len(call.Args) != 0 {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return ""
+	}
+	return types.ExprString(sel.X)
+}
+
+// scanBlock walks a statement list tracking which mutexes are held,
+// reporting channel sends inside critical sections. Nested control flow is
+// scanned with a copy of the held set (conservative: state changes inside
+// a branch do not propagate out); function literals start fresh.
+func scanBlock(pass *framework.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if m := mutexOfCall(pass, call, lockMethods); m != "" {
+					held[m] = true
+				} else if m := mutexOfCall(pass, call, unlockMethods); m != "" {
+					delete(held, m)
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to the end of the
+			// function, so the held set is left as is.
+		case *ast.SendStmt:
+			reportSend(pass, s.Pos(), held)
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				cc := cl.(*ast.CommClause)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					reportSend(pass, send.Pos(), held)
+				}
+				scanBlock(pass, cc.Body, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			scanBlock(pass, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			scanBlock(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				scanBlock(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			scanBlock(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			scanBlock(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				scanBlock(pass, cl.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				scanBlock(pass, cl.(*ast.CaseClause).Body, copyHeld(held))
+			}
+		}
+		// Sends nested in expressions (e.g. inside a func literal) start a
+		// new goroutine context; checkSendsUnderLock visits literals
+		// separately, so nothing more to do here.
+	}
+}
+
+func reportSend(pass *framework.Pass, pos token.Pos, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	// Sort so the named mutex is stable when several are held — the linter
+	// obeys its own determinism rules.
+	names := make([]string, 0, len(held))
+	for m := range held {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos,
+		"channel send while %s is held; a blocked receiver would stall the critical section — "+
+			"send after Unlock", names[0])
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// --- evidence.Local escaping its goroutine ---
+
+// isEvidenceLocal reports whether t is evidence.Local or *evidence.Local.
+func isEvidenceLocal(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Local" && obj.Pkg() != nil &&
+		critical.PathHasSuffix(obj.Pkg().Path(), "internal/evidence")
+}
+
+func checkLocalEscape(pass *framework.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if tv, ok := pass.TypesInfo.Types[x.Value]; ok && tv.Type != nil && isEvidenceLocal(tv.Type) {
+				pass.Reportf(x.Pos(),
+					"evidence.Local sent on a channel: Local is unlocked by construction and must stay "+
+						"owned by one goroutine; flush with FlushTo and send the counts instead")
+			}
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil && isEvidenceLocal(tv.Type) {
+					pass.Reportf(arg.Pos(),
+						"evidence.Local passed to a spawned goroutine; create the Local inside the "+
+							"goroutine that owns it (evidence.NewLocal) instead of sharing one")
+				}
+			}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				checkClosureCapture(pass, lit)
+			}
+		}
+		return true
+	})
+}
+
+// checkClosureCapture reports evidence.Local variables referenced inside a
+// `go func(){...}` literal but declared outside it.
+func checkClosureCapture(pass *framework.Pass, lit *ast.FuncLit) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || reported[obj] || !isEvidenceLocal(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"goroutine closure captures evidence.Local %q declared outside it; Local is "+
+					"single-owner — allocate it inside the goroutine (evidence.NewLocal)", obj.Name())
+		}
+		return true
+	})
+}

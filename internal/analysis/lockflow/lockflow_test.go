@@ -1,0 +1,13 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockflow.Analyzer,
+		"lockflow/a", "lockflow/b")
+}

@@ -1,0 +1,16 @@
+// Minimal stand-in for repro/internal/evidence: lockflow matches the
+// Local type by name and package-path suffix, so only the shape matters.
+package evidence
+
+type Local struct{ m map[string]int }
+
+func NewLocal() *Local { return &Local{m: map[string]int{}} }
+
+func (l *Local) Add(k string) { l.m[k]++ }
+
+func (l *Local) FlushTo(dst map[string]int) {
+	for k, v := range l.m {
+		dst[k] += v
+		delete(l.m, k)
+	}
+}

@@ -1,0 +1,101 @@
+// Fixture for lockflow's mutex-copy and send-under-lock checks. lockflow
+// runs in every package, so no special package path is needed.
+package a
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sink int
+
+// copyDeref copies the whole lock-bearing struct: flagged.
+func copyDeref(g *guarded) {
+	h := *g // want `assignment copies a value containing a sync mutex`
+	sink = h.n
+}
+
+// copyArg passes a lock-bearing value into a call: flagged.
+func copyArg(g *guarded) {
+	take(*g) // want `call argument copies a value containing a sync mutex`
+}
+
+func take(guarded) {}
+
+// copyRange binds lock-bearing range values: flagged.
+func copyRange(gs []guarded) {
+	for _, g := range gs { // want `range value copies a value containing a sync mutex`
+		sink = g.n
+	}
+}
+
+// copyReturn returns a lock-bearing value loaded from a pointer: flagged.
+func copyReturn(g *guarded) guarded {
+	return *g // want `return copies a value containing a sync mutex`
+}
+
+// pointers moves the same state around by pointer: clean.
+func pointers(g *guarded) *guarded {
+	h := g
+	take2(h)
+	return h
+}
+
+func take2(*guarded) {}
+
+// literalInit creates a zero-valued lock in place: clean.
+func literalInit() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+// sendUnderLock sends while the mutex is held: flagged.
+func sendUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while mu is held`
+	mu.Unlock()
+}
+
+// sendUnderDeferredUnlock holds the lock to function end: flagged.
+func sendUnderDeferredUnlock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want `channel send while g.mu is held`
+}
+
+// sendInBranchUnderLock propagates held state into nested blocks: flagged.
+func sendInBranchUnderLock(mu *sync.Mutex, ch chan int, cond bool) {
+	mu.Lock()
+	if cond {
+		ch <- 1 // want `channel send while mu is held`
+	}
+	mu.Unlock()
+}
+
+// sendAfterUnlock releases first: clean.
+func sendAfterUnlock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	n := sink
+	mu.Unlock()
+	ch <- n
+}
+
+// sendOtherLockReleased tracks mutexes independently: clean.
+func sendOtherLockReleased(a, b *sync.Mutex, ch chan int) {
+	a.Lock()
+	a.Unlock()
+	b.Lock()
+	b.Unlock()
+	ch <- 1
+}
+
+// sendInSpawnedGoroutine starts a fresh lock context: clean.
+func sendInSpawnedGoroutine(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	go func() {
+		ch <- 1
+	}()
+	mu.Unlock()
+}

@@ -1,0 +1,43 @@
+// Fixture for lockflow's evidence.Local ownership check.
+package b
+
+import "internal/evidence"
+
+// sendLocal ships the unlocked accumulator across goroutines: flagged.
+func sendLocal(ch chan *evidence.Local, l *evidence.Local) {
+	ch <- l // want `evidence.Local sent on a channel`
+}
+
+// capture shares one accumulator with a spawned goroutine: flagged.
+func capture() {
+	acc := evidence.NewLocal()
+	go func() {
+		acc.Add("x") // want `captures evidence.Local "acc"`
+	}()
+}
+
+// handoff passes the accumulator as a goroutine argument: flagged.
+func handoff(l *evidence.Local) {
+	go worker(l) // want `evidence.Local passed to a spawned goroutine`
+}
+
+func worker(*evidence.Local) {}
+
+// perGoroutine allocates the Local inside the goroutine that owns it —
+// the pipeline's worker idiom (one NewLocal per worker, one FlushTo at
+// the end): clean.
+func perGoroutine(dst map[string]int) {
+	go func() {
+		acc := evidence.NewLocal()
+		acc.Add("x")
+		acc.FlushTo(dst)
+	}()
+}
+
+// sameGoroutine passes the Local to an ordinary call, which stays in the
+// owning goroutine: clean.
+func sameGoroutine(l *evidence.Local) {
+	helper(l)
+}
+
+func helper(l *evidence.Local) { l.Add("y") }

@@ -1,0 +1,78 @@
+// Package scratch defines an analyzer that keeps the allocating NLP
+// wrappers off the extraction hot path.
+//
+// PR 2 introduced scratch-reuse variants of every per-sentence API —
+// TokenizeInto, SplitSentencesInto, TagInto, ParseInto, ExtractInto — and
+// the ~90k docs/sec figure depends on the pipeline using them. The plain
+// wrappers (Tokenize, Tag, Parse, Extract, ...) allocate per call and
+// remain the right choice for tests and the testkit oracle, but inside
+// internal/pipeline a call to one of them is a silent throughput
+// regression. This analyzer reports each such call and names the variant
+// to use instead.
+package scratch
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/critical"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the scratch analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "scratch",
+	Doc: "flags allocating NLP wrapper calls on the hot path where a " +
+		"scratch-reuse *Into variant exists",
+	Run: run,
+}
+
+// allocating maps (package-path suffix, function name) of each allocating
+// wrapper to its scratch-reuse replacement.
+var allocating = []struct {
+	pkgSuffix string
+	name      string
+	into      string
+}{
+	{"nlp/token", "Tokenize", "TokenizeInto"},
+	{"nlp/token", "SplitSentences", "SplitSentencesInto"},
+	{"nlp/pos", "Tag", "TagInto"},
+	{"nlp/depparse", "Parse", "ParseInto"},
+	{"internal/tagger", "Tag", "TagInto"},
+	{"internal/extract", "Extract", "ExtractInto"},
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !critical.HotPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			for _, a := range allocating {
+				if fn.Name() != a.name || !critical.PathHasSuffix(fn.Pkg().Path(), a.pkgSuffix) {
+					continue
+				}
+				pass.Report(framework.Diagnostic{
+					Pos: call.Pos(),
+					End: call.End(),
+					Message: fn.Pkg().Name() + "." + a.name + " allocates per call on the hot path; " +
+						"use " + a.into + " with a worker-reused buffer (see DESIGN.md, Performance architecture)",
+					SuggestedFixes: []framework.SuggestedFix{{
+						Message: "rewrite to " + a.into + ", passing a buffer the worker reuses " +
+							"across sentences (dst[:0] for slices, a per-worker Scratch for parser/tagger)",
+					}},
+				})
+				break
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

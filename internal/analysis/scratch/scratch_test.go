@@ -1,0 +1,13 @@
+package scratch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/scratch"
+)
+
+func TestScratch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), scratch.Analyzer,
+		"internal/pipeline", "internal/testkit")
+}

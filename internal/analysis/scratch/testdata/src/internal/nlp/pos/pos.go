@@ -1,0 +1,12 @@
+// Minimal stand-in for repro/internal/nlp/pos.
+package pos
+
+import "internal/nlp/token"
+
+type Tagged struct{ Tok token.Token }
+
+type Tagger struct{}
+
+func (t *Tagger) Tag(sent token.Sentence) []Tagged { return nil }
+
+func (t *Tagger) TagInto(dst []Tagged, sent token.Sentence) []Tagged { return dst }

@@ -1,0 +1,18 @@
+// Minimal stand-in for repro/internal/nlp/token: the scratch analyzer
+// matches callees by package-path suffix and function name, so only the
+// signatures matter.
+package token
+
+type Token struct{ Text string }
+
+type Sentence struct{ Tokens []Token }
+
+func Tokenize(text string) []Token { return nil }
+
+func TokenizeInto(dst []Token, text string) []Token { return dst }
+
+func SplitSentences(text string) []Sentence { return nil }
+
+func SplitSentencesInto(sents []Sentence, toks []Token, text string) ([]Sentence, []Token) {
+	return sents, toks
+}

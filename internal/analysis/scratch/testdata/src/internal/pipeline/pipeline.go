@@ -1,0 +1,35 @@
+// Fixture for the scratch analyzer. The package path ends in
+// "internal/pipeline", so it counts as hot-path code.
+package pipeline
+
+import (
+	"internal/nlp/pos"
+	"internal/nlp/token"
+)
+
+// hot calls the allocating wrappers on the hot path: flagged.
+func hot(tg *pos.Tagger, text string) int {
+	sents := token.SplitSentences(text) // want `allocates per call`
+	n := 0
+	for _, s := range sents {
+		n += len(tg.Tag(s)) // want `allocates per call`
+	}
+	n += len(token.Tokenize(text)) // want `allocates per call`
+	return n
+}
+
+// cool uses the scratch-reuse variants, the PR 2 idiom: clean.
+func cool(tg *pos.Tagger, text string) int {
+	var (
+		sents  []token.Sentence
+		toks   []token.Token
+		tagged []pos.Tagged
+	)
+	sents, toks = token.SplitSentencesInto(sents[:0], toks[:0], text)
+	n := len(toks)
+	for _, s := range sents {
+		tagged = tg.TagInto(tagged[:0], s)
+		n += len(tagged)
+	}
+	return n
+}

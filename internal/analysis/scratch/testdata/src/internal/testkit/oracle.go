@@ -1,0 +1,18 @@
+// Fixture proving the scratch analyzer binds only to hot-path packages:
+// the testkit oracle deliberately uses the plain allocating wrappers so it
+// shares no scratch machinery with the pipeline under test, and that must
+// stay clean.
+package testkit
+
+import (
+	"internal/nlp/pos"
+	"internal/nlp/token"
+)
+
+func oracle(tg *pos.Tagger, text string) int {
+	n := 0
+	for _, s := range token.SplitSentences(text) {
+		n += len(tg.Tag(s))
+	}
+	return n
+}

@@ -178,6 +178,7 @@ func TestCodecExtractionEquivalence(t *testing.T) {
 	if len(fresh) != len(reread) {
 		t.Fatalf("statement sets differ: %d vs %d", len(fresh), len(reread))
 	}
+	//lint:allow detmap order-independent multiset-equality assertion; no ordered output is produced
 	for k, v := range fresh {
 		if reread[k] != v {
 			t.Fatalf("statement %+v count %d vs %d", k, v, reread[k])

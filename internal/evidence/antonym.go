@@ -1,5 +1,7 @@
 package evidence
 
+import "sort"
+
 // AntonymResolver maps a property to the primary property it is an
 // antonym of, if any ("small" -> "big").
 type AntonymResolver func(property string) (primary string, ok bool)
@@ -40,8 +42,13 @@ func PrimaryByVolume(s *Store, antonyms func(string) []string) AntonymResolver {
 	for _, e := range s.Snapshot() {
 		totals[e.Property] += e.Total()
 	}
-	mapping := map[string]string{}
+	props := make([]string, 0, len(totals))
 	for prop := range totals {
+		props = append(props, prop)
+	}
+	sort.Strings(props)
+	mapping := map[string]string{}
+	for _, prop := range props {
 		for _, anto := range antonyms(prop) {
 			if totals[anto] > totals[prop] {
 				mapping[prop] = anto

@@ -126,6 +126,7 @@ func (l *Local) Len() int { return len(l.m) }
 // FlushTo folds the accumulated counts into s and clears the accumulator
 // for reuse. The interning table is kept — its strings stay valid.
 func (l *Local) FlushTo(s *Store) {
+	//lint:allow detmap commutative fold into the sharded store; iteration order cannot reach results
 	for k, c := range l.m {
 		s.AddCounts(k, c)
 		delete(l.m, k)
@@ -148,6 +149,7 @@ func (s *Store) Merge(other *Store) {
 	for i := range other.shards {
 		sh := &other.shards[i]
 		sh.mu.Lock()
+		//lint:allow detmap commutative fold into the sharded store; iteration order cannot reach results
 		for k, c := range sh.m {
 			s.AddCounts(k, c)
 		}
@@ -181,6 +183,7 @@ func (s *Store) TotalStatements() int64 {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
+		//lint:allow detmap commutative sum over counters
 		for _, c := range sh.m {
 			n += c.Total()
 		}
@@ -329,6 +332,7 @@ func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Grou
 				}
 				sh := &s.shards[si]
 				sh.mu.Lock()
+				//lint:allow detmap per-shard aggregation is commutative; the kept groups are sorted below
 				for k, c := range sh.m {
 					gk := GroupKey{Type: base.Get(k.Entity).Type, Property: k.Property}
 					g := part[gk]
@@ -348,6 +352,7 @@ func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Grou
 
 	merged := map[GroupKey]*groupAgg{}
 	for _, part := range partials {
+		//lint:allow detmap partial merge is commutative; the kept groups are sorted below
 		for gk, g := range part {
 			m := merged[gk]
 			if m == nil {
@@ -356,6 +361,7 @@ func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Grou
 			}
 			// Disjoint at the entity level: one (entity, property) key maps
 			// to one shard, claimed by one worker.
+			//lint:allow detmap disjoint entity keys; assignment order immaterial
 			for e, c := range g.counts {
 				m.counts[e] = c
 			}

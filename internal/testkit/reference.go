@@ -124,8 +124,22 @@ func (r *Reference) finish(base *kb.KB, cfg pipeline.Config) {
 		counts map[kb.EntityID]evidence.Counts
 		total  int64
 	}
+	// The oracle iterates its evidence in sorted order — the grouping fold
+	// is commutative either way, but the reference implementation should
+	// not even look order-dependent.
+	ordered := make([]evidence.Key, 0, len(r.Counts))
+	for k := range r.Counts {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].Entity != ordered[b].Entity {
+			return ordered[a].Entity < ordered[b].Entity
+		}
+		return ordered[a].Property < ordered[b].Property
+	})
 	groups := map[evidence.GroupKey]*agg{}
-	for k, c := range r.Counts {
+	for _, k := range ordered {
+		c := r.Counts[k]
 		gk := evidence.GroupKey{Type: base.Get(k.Entity).Type, Property: k.Property}
 		g := groups[gk]
 		if g == nil {

@@ -1,0 +1,33 @@
+package tools
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCIUsesPinnedTools asserts the lint workflow invokes exactly the
+// tool versions pinned in this package, so a bump in either place
+// without the other fails fast.
+func TestCIUsesPinnedTools(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := string(data)
+	for _, pin := range []string{Staticcheck, Govulncheck} {
+		if !strings.Contains(ci, "go run "+pin) {
+			t.Errorf("ci.yml does not run the pinned tool %q", pin)
+		}
+		at := strings.LastIndex(pin, "@")
+		if at < 0 || at == len(pin)-1 {
+			t.Errorf("pin %q has no version suffix", pin)
+			continue
+		}
+		base := pin[:at+1]
+		if n := strings.Count(ci, "go run "+base); n != 1 {
+			t.Errorf("ci.yml invokes %s %d times; want exactly 1 (the pinned one)", base, n)
+		}
+	}
+}
