@@ -19,6 +19,7 @@ import (
 	"repro/internal/nlp/lexicon"
 	"repro/internal/nlp/pos"
 	"repro/internal/nlp/token"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -168,6 +169,33 @@ func BenchmarkPipelinePhases(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(snap.Documents)), "docs/run")
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the end-to-end pipeline: "off" runs with no sink attached (every
+// recording call hits the nil-receiver fast path), "on" runs with a live
+// metrics registry. Benchdiff gates on/off at ≤2% so the hot-path
+// instrumentation can never quietly grow a real cost.
+func BenchmarkObsOverhead(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 2, Scale: benchScale}).Generate()
+	run := func(b *testing.B, o *obs.RunObs) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res := pipeline.Run(snap.Documents, base, lex,
+				pipeline.Config{Rho: int64(40 * benchScale), Obs: o})
+			if res.TotalStatements == 0 {
+				b.Fatal("no statements")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		run(b, &obs.RunObs{Metrics: obs.NewRegistry()})
+	})
 }
 
 // BenchmarkExtractionThroughput isolates the NLP front end: sentences per

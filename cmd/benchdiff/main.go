@@ -25,7 +25,13 @@ import (
 // defaultBench is the fast, low-variance subset: the end-to-end pipeline,
 // the NLP front end, and the hot inner loops. The table/figure
 // reproduction benches are excluded — they are experiments, not gates.
-const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput"
+const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput|ObsOverhead"
+
+// obsTolerance caps how much the observability layer may slow the
+// pipeline when a sink is attached: ObsOverhead/on is gated against
+// ObsOverhead/off from the same run (a paired comparison, so it holds on
+// a noisy machine where the absolute baseline would not).
+const obsTolerance = 0.02
 
 // allocGated lists the benchmarks whose allocs/op is gated alongside
 // ns/op: the hot paths whose allocation discipline the scratch-reuse
@@ -112,6 +118,7 @@ func main() {
 	}
 
 	regressions := diff(os.Stdout, base, cur, *tolerance)
+	regressions += obsOverheadGate(os.Stdout, cur)
 	if regressions > 0 && *gate {
 		fmt.Printf("\n%d benchmark(s) regressed beyond %.0f%%\n", regressions, *tolerance*100)
 		os.Exit(1)
@@ -242,4 +249,27 @@ func diff(w *os.File, base Baseline, cur map[string]Sample, tol float64) int {
 		}
 	}
 	return regressions
+}
+
+// obsOverheadGate compares the ObsOverhead pair from the current run:
+// the pipeline with a live metrics registry may cost at most
+// obsTolerance over the same pipeline with no sink. Returns 1 on
+// breach, 0 otherwise (including when the pair was not measured, e.g.
+// under a custom -bench regex).
+func obsOverheadGate(w *os.File, cur map[string]Sample) int {
+	on, okOn := cur["ObsOverhead/on"]
+	off, okOff := cur["ObsOverhead/off"]
+	if !okOn || !okOff || off.NsOp == 0 {
+		return 0
+	}
+	delta := (on.NsOp - off.NsOp) / off.NsOp
+	status := "ok"
+	breached := 0
+	if delta > obsTolerance {
+		status = "OBS OVERHEAD REGRESSION"
+		breached = 1
+	}
+	fmt.Fprintf(w, "\nobs overhead (on vs off, same run): %+.2f%% (limit %+.0f%%)  %s\n",
+		delta*100, obsTolerance*100, status)
+	return breached
 }

@@ -5,21 +5,28 @@
 // Usage:
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	         [-debug-addr ADDR] [-linger DUR] [-report FILE]
 //
 // With no -in, a demonstration corpus is generated on the fly.
+//
+// Observability: -debug-addr starts a live debug server (Prometheus
+// /metrics, /progress, /trace for Perfetto, /em, expvar, pprof); -linger
+// keeps it serving after the run finishes so the final state can be
+// scraped. -report writes a machine-readable JSON run report. Telemetry is
+// write-only — mined results are bit-identical with or without it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/kb"
+	"repro/internal/obs"
 	"repro/surveyor"
 )
 
@@ -39,34 +46,39 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoints on this address (e.g. localhost:6060)")
+	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run (with -debug-addr)")
+	reportPath := flag.String("report", "", "write a JSON run report to this file")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	prof := obs.Profiling{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath}
+	if prof.Enabled() {
+		stop, err := prof.Start()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile shows live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := stop(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+
+	// Telemetry sinks cost nothing when no obs flag asks for them.
+	var o *obs.RunObs
+	if *debugAddr != "" || *reportPath != "" {
+		o = obs.New()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ (metrics, progress, trace, em, pprof)\n", ds.Addr)
 	}
 
 	sys := surveyor.NewSystemWithBuiltinKB(*seed)
@@ -101,8 +113,22 @@ func run() int {
 		Rho:            *rho,
 		PatternVersion: *version,
 		Workers:        *workers,
+		Obs:            o,
 	})
-	fmt.Fprintln(os.Stderr, res.Stats().String())
+	stats := res.Stats()
+	fmt.Fprintln(os.Stderr, stats.String())
+
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, stats, o, *workers, *rho, *version); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", *reportPath)
+	}
+	if *debugAddr != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %s for scrapes of the final state\n", *linger)
+		time.Sleep(*linger)
+	}
 
 	if *queryStr != "" {
 		answers, err := res.Query(*queryStr)
@@ -133,4 +159,36 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// writeReport fills an obs.Report from the run statistics and telemetry
+// and writes it as indented JSON.
+func writeReport(path string, stats surveyor.Stats, o *obs.RunObs, workers int, rho int64, version int) error {
+	rep := obs.NewReport()
+	rep.Workers = workers
+	rep.Rho = rho
+	rep.Version = version
+	rep.Documents = stats.Documents
+	rep.Sentences = stats.Sentences
+	rep.Statements = stats.Statements
+	rep.DistinctPairs = stats.DistinctPairs
+	rep.PairsBeforeFilter = stats.PairsBeforeFilter
+	rep.Groups = stats.ModelledGroups
+	rep.Opinions = stats.OpinionsProduced
+	rep.TimingsMillis["extract"] = stats.ExtractionMillis
+	rep.TimingsMillis["group"] = stats.GroupingMillis
+	rep.TimingsMillis["em"] = stats.EMMillis
+	rep.TimingsMillis["index"] = stats.IndexMillis
+	rep.TimingsMillis["total"] = stats.TotalMillis
+	rep.Attach(o)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,5 +1,5 @@
 // Command surveyorlint runs the repository's custom determinism and
-// concurrency analyzers (detmap, detrand, scratch, lockflow) over package
+// concurrency analyzers (detmap, detrand, obsflow, scratch, lockflow) over package
 // patterns, mirroring a golang.org/x/tools multichecker on the standard
 // library only.
 //
@@ -33,12 +33,14 @@ import (
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/lockflow"
+	"repro/internal/analysis/obsflow"
 	"repro/internal/analysis/scratch"
 )
 
 var analyzers = []*framework.Analyzer{
 	detmap.Analyzer,
 	detrand.Analyzer,
+	obsflow.Analyzer,
 	scratch.Analyzer,
 	lockflow.Analyzer,
 }

@@ -31,6 +31,14 @@ func Determinism(pkgPath string) bool { return matches(pkgPath, determinism) }
 // HotPath reports whether the package is on the extraction hot path.
 func HotPath(pkgPath string) bool { return matches(pkgPath, hotPath) }
 
+// Observability reports whether the package is bound by the write-only
+// telemetry contract: everything determinism-critical or on the hot path
+// records observability state but must never read it back (the obsflow
+// analyzer enforces this).
+func Observability(pkgPath string) bool {
+	return Determinism(pkgPath) || HotPath(pkgPath)
+}
+
 func matches(pkgPath string, suffixes []string) bool {
 	for _, s := range suffixes {
 		if PathHasSuffix(pkgPath, s) {

@@ -1,0 +1,13 @@
+package obsflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/analysistest"
+	"repro/internal/analysis/obsflow"
+)
+
+func TestObsflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsflow.Analyzer,
+		"internal/pipeline", "pkg/other")
+}

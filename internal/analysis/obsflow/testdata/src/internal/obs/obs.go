@@ -1,0 +1,37 @@
+// Stub of the real internal/obs API surface for the obsflow fixtures.
+// The package path ends in "internal/obs", which is all the analyzer
+// matches on.
+package obs
+
+import "time"
+
+// Counter mirrors the write (Add, Inc) and read (Value) sides.
+type Counter struct{ v int64 }
+
+// Add is a write: allowed everywhere.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc is a write: allowed everywhere.
+func (c *Counter) Inc() { c.v++ }
+
+// Value is a read: forbidden in observability-critical packages.
+func (c *Counter) Value() int64 { return c.v }
+
+// Registry mirrors the snapshot read side.
+type Registry struct{}
+
+// Snapshot is a read: forbidden in observability-critical packages.
+func (r *Registry) Snapshot() []int64 { return nil }
+
+// Span mirrors the one sanctioned escape hatch.
+type Span struct{ start time.Duration }
+
+// End returns the span duration — deliberately allowed, it feeds
+// Result.Timings which the determinism contract excludes.
+func (s *Span) End() time.Duration { return 0 }
+
+// Clock is the injected monotonic time source.
+type Clock interface {
+	// Now is a read: instrumented code must not branch on the clock.
+	Now() time.Duration
+}

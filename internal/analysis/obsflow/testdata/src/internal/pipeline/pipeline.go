@@ -1,0 +1,57 @@
+// Fixture for the obsflow analyzer. The package path ends in
+// "internal/pipeline", so it counts as observability-critical.
+package pipeline
+
+import (
+	"expvar" // want `process-global mutable telemetry state`
+	"time"
+
+	"internal/obs"
+)
+
+// record writes telemetry: clean — writes are the contract.
+func record(c *obs.Counter) {
+	c.Add(41)
+	c.Inc()
+}
+
+// branchOnCounter reads a counter back and branches on it: flagged.
+func branchOnCounter(c *obs.Counter) int64 {
+	if c.Value() > 10 { // want `reads observability state`
+		return 0
+	}
+	return c.Value() // want `reads observability state`
+}
+
+// scrape reads the whole registry: flagged.
+func scrape(r *obs.Registry) []int64 {
+	return r.Snapshot() // want `reads observability state`
+}
+
+// tick reads the obs clock directly: flagged.
+func tick(c obs.Clock) time.Duration {
+	return c.Now() // want `reads observability state`
+}
+
+// phase uses the sanctioned escape hatch: clean. End's duration feeds
+// Result.Timings, which the determinism contract excludes.
+func phase(s *obs.Span) time.Duration {
+	return s.End()
+}
+
+// wallClock reads ambient time: flagged, both forms.
+func wallClock() time.Duration {
+	start := time.Now()      // want `reads the wall clock`
+	return time.Since(start) // want `reads the wall clock`
+}
+
+// arithmetic on injected timestamps is fine: clean.
+func elapsed(start, end time.Duration) time.Duration {
+	return end - start
+}
+
+// publish keeps the expvar import used; the import line above carries the
+// diagnostic, the call does not get a second one.
+func publish() *expvar.Int {
+	return expvar.NewInt("surveyor_fixture")
+}

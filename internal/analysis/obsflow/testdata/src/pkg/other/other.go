@@ -1,0 +1,20 @@
+// Fixture negative control: the package path matches no critical suffix,
+// so the very same patterns produce no diagnostics.
+package other
+
+import (
+	"expvar"
+	"time"
+
+	"internal/obs"
+)
+
+// fine reads telemetry, the clock, and expvar outside the critical set:
+// all clean.
+func fine(c *obs.Counter, r *obs.Registry) int64 {
+	expvar.NewInt("other_fixture")
+	start := time.Now()
+	_ = time.Since(start)
+	_ = r.Snapshot()
+	return c.Value()
+}

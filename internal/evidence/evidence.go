@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/extract"
 	"repro/internal/kb"
+	"repro/internal/obs"
 )
 
 // Key identifies one entity-property pair.
@@ -311,6 +312,17 @@ type groupAgg struct {
 // results are identical to the two-snapshot implementation — the grouping
 // property tests prove it.
 func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Group, pairsBeforeFilter int) {
+	return ParallelGroupObserved(s, base, rho, workers, nil)
+}
+
+// ParallelGroupObserved is ParallelGroup with write-only phase counters:
+// keys scanned per shard, groups kept/filtered at the ρ threshold. A nil
+// o disables them; the returned groups are identical either way (the
+// counters are never read here — the obsflow analyzer enforces it).
+func ParallelGroupObserved(s *Store, base *kb.KB, rho int64, workers int, o *obs.GroupingObs) (groups []Group, pairsBeforeFilter int) {
+	if o == nil {
+		o = &obs.GroupingObs{} // nil handles: every record call no-ops
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -332,6 +344,7 @@ func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Grou
 				}
 				sh := &s.shards[si]
 				sh.mu.Lock()
+				o.PairsScanned.Add(int64(len(sh.m)))
 				//lint:allow detmap per-shard aggregation is commutative; the kept groups are sorted below
 				for k, c := range sh.m {
 					gk := GroupKey{Type: base.Get(k.Entity).Type, Property: k.Property}
@@ -388,6 +401,8 @@ func ParallelGroup(s *Store, base *kb.KB, rho int64, workers int) (groups []Grou
 		}
 		return groups[a].Key.Property < groups[b].Key.Property
 	})
+	o.GroupsKept.Add(int64(len(groups)))
+	o.GroupsFiltered.Add(int64(pairsBeforeFilter - len(groups)))
 	return groups, pairsBeforeFilter
 }
 

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestEMRecorderTrajectory(t *testing.T) {
+	r := NewEMRecorder()
+	g := r.Group("city", "big", 50)
+	g.Iter(0.80, 2.0, 0.5, -120)
+	g.Iter(0.85, 2.5, 0.4, -100)
+	g.Done(2, true, -100)
+
+	snap := r.Snapshot()
+	if snap.Groups != 1 || snap.Converged != 1 || snap.TotalIterations != 2 {
+		t.Fatalf("aggregates = %+v", snap)
+	}
+	if snap.MeanIterations != 2 {
+		t.Errorf("mean iterations = %g, want 2", snap.MeanIterations)
+	}
+	rec := snap.Records[0]
+	if rec.Type != "city" || rec.Property != "big" || rec.Entities != 50 {
+		t.Errorf("record identity = %+v", rec)
+	}
+	if len(rec.Trajectory) != 2 {
+		t.Fatalf("trajectory length = %d, want 2", len(rec.Trajectory))
+	}
+	first, second := rec.Trajectory[0], rec.Trajectory[1]
+	if first.DeltaPA != 0 || first.DeltaNpPlus != 0 || first.DeltaNpMinus != 0 {
+		t.Errorf("first iteration deltas = %+v, want zeros", first)
+	}
+	if math.Abs(second.DeltaPA-0.05) > 1e-12 ||
+		math.Abs(second.DeltaNpPlus-0.5) > 1e-12 ||
+		math.Abs(second.DeltaNpMinus-0.1) > 1e-12 {
+		t.Errorf("second iteration deltas = %+v", second)
+	}
+	if float64(second.LogLikelihood) != -100 || float64(rec.FinalLogLikelihood) != -100 {
+		t.Errorf("log-likelihoods = %v / %v", second.LogLikelihood, rec.FinalLogLikelihood)
+	}
+}
+
+func TestEMRecorderTrajectoryCap(t *testing.T) {
+	r := NewEMRecorder()
+	r.MaxTrajectories = 1
+	a := r.Group("t", "a", 1)
+	a.Iter(0.8, 1, 1, -1)
+	a.Done(1, true, -1)
+	b := r.Group("t", "b", 1)
+	b.Iter(0.8, 1, 1, -1)
+	b.Done(1, true, -1)
+
+	snap := r.Snapshot()
+	if snap.Groups != 2 {
+		t.Fatalf("groups = %d, want 2 (summaries keep counting past the cap)", snap.Groups)
+	}
+	kept := 0
+	for _, rec := range snap.Records {
+		if len(rec.Trajectory) > 0 {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Errorf("trajectories kept = %d, want 1", kept)
+	}
+}
+
+func TestEMRecorderGroupCap(t *testing.T) {
+	r := NewEMRecorder()
+	r.MaxGroups = 1
+	for _, p := range []string{"a", "b", "c"} {
+		g := r.Group("t", p, 1)
+		g.Done(3, false, -5)
+	}
+	snap := r.Snapshot()
+	if snap.Groups != 3 || snap.TotalIterations != 9 || snap.Converged != 0 {
+		t.Errorf("aggregates = %+v, want 3 groups / 9 iters", snap)
+	}
+	if len(snap.Records) != 1 {
+		t.Errorf("records = %d, want 1 (capped)", len(snap.Records))
+	}
+}
+
+func TestEMRecorderSampling(t *testing.T) {
+	r := NewEMRecorder()
+	r.SampleBits = 2 // ~1/4 of groups by key hash
+	const n = 64
+	selected := 0
+	for i := 0; i < n; i++ {
+		g := r.Group("t", string(rune('a'+i%26))+string(rune('a'+i/26)), 1)
+		g.Iter(0.8, 1, 1, -1)
+		g.Done(1, true, -1)
+	}
+	for _, rec := range r.Snapshot().Records {
+		if len(rec.Trajectory) > 0 {
+			selected++
+		}
+	}
+	if selected == 0 || selected == n {
+		t.Errorf("hash sampling selected %d of %d groups; want a strict subset", selected, n)
+	}
+	// Selection is by key hash: a fresh recorder selects the same groups.
+	r2 := NewEMRecorder()
+	r2.SampleBits = 2
+	for _, rec := range r.Snapshot().Records {
+		g := r2.Group(rec.Type, rec.Property, 1)
+		g.Iter(0.8, 1, 1, -1)
+		g.Done(1, true, -1)
+	}
+	for i, rec := range r2.Snapshot().Records {
+		if (len(rec.Trajectory) > 0) != (len(r.Snapshot().Records[i].Trajectory) > 0) {
+			t.Errorf("sampling not deterministic for %s/%s", rec.Type, rec.Property)
+		}
+	}
+}
+
+func TestEMSnapshotSortedAndJSONSafe(t *testing.T) {
+	r := NewEMRecorder()
+	for _, k := range [][2]string{{"b", "y"}, {"a", "z"}, {"a", "x"}} {
+		g := r.Group(k[0], k[1], 1)
+		g.Done(1, false, math.Inf(-1)) // degenerate fit: -Inf log-likelihood
+	}
+	snap := r.Snapshot()
+	order := ""
+	for _, rec := range snap.Records {
+		order += rec.Type + rec.Property + " "
+	}
+	if order != "ax az by " {
+		t.Errorf("records not sorted by (type, property): %s", order)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("-Inf log-likelihood broke JSON encoding: %v", err)
+	}
+	var back EMSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !math.IsInf(float64(back.Records[0].FinalLogLikelihood), -1) {
+		t.Errorf("round-tripped final ll = %v, want -Inf", back.Records[0].FinalLogLikelihood)
+	}
+}
+
+func TestNilEMRecorder(t *testing.T) {
+	var r *EMRecorder
+	g := r.Group("t", "p", 1)
+	g.Iter(0.8, 1, 1, -1)
+	g.Done(1, true, -1)
+	if snap := r.Snapshot(); snap.Groups != 0 {
+		t.Errorf("nil recorder snapshot = %+v", snap)
+	}
+}

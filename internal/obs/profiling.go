@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Profiling bundles the standard Go profiling outputs of a run: a CPU
+// profile, a heap profile written at stop, and a runtime execution trace.
+// Empty paths disable the corresponding output. It replaces the ad-hoc
+// flag handling that used to live in cmd/surveyor.
+type Profiling struct {
+	CPUProfile string // pprof CPU profile path
+	MemProfile string // heap profile path, written at Stop
+	Trace      string // runtime/trace path (go tool trace)
+}
+
+// Enabled reports whether any output is configured.
+func (p Profiling) Enabled() bool {
+	return p.CPUProfile != "" || p.MemProfile != "" || p.Trace != ""
+}
+
+// Start begins the configured profiles and returns a stop function that
+// finishes them (stops the CPU profile and execution trace, then writes
+// the heap profile). On error, anything already started is stopped before
+// returning; the stop function is non-nil only on success.
+func (p Profiling) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			rtrace.Stop()
+			traceFile.Close()
+		}
+	}
+
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceFile, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		if err := rtrace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+	}
+
+	memPath := p.MemProfile
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceFile != nil {
+			rtrace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: heap profile: %w", err)
+				}
+			} else {
+				runtime.GC() // settle the heap so the profile shows live objects
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("obs: heap profile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

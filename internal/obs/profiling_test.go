@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilingDisabled(t *testing.T) {
+	var p Profiling
+	if p.Enabled() {
+		t.Error("zero Profiling reports enabled")
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop with nothing started: %v", err)
+	}
+}
+
+func TestProfilingWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiling{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	if !p.Enabled() {
+		t.Fatal("configured Profiling reports disabled")
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{p.CPUProfile, p.MemProfile, p.Trace} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfilingBadPath(t *testing.T) {
+	p := Profiling{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := p.Start(); err == nil {
+		t.Error("unwritable CPU profile path did not error")
+	}
+}

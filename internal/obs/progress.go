@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is the live view of a pipeline run: how many documents have
+// been processed, by which worker, at what rate. The pipeline writes
+// through per-worker slots (one cache line each, no sharing), and the
+// debug server's /progress endpoint reads a consistent-enough snapshot at
+// any time during the run.
+type Progress struct {
+	clock Clock
+
+	mu      sync.Mutex
+	phase   string
+	total   int64
+	started time.Duration
+	running bool
+	workers []*WorkerSlot
+}
+
+// NewProgress returns a Progress reading elapsed time from clock (nil
+// selects the shared system clock).
+func NewProgress(clock Clock) *Progress {
+	return &Progress{clock: clockOrDefault(clock)}
+}
+
+// WorkerSlot holds one worker's counters. The padding keeps slots on
+// separate cache lines so the per-document atomic adds never bounce.
+type WorkerSlot struct {
+	docs       counterCell
+	sentences  counterCell
+	statements counterCell
+}
+
+// counterCell is a padded atomic counter.
+type counterCell struct {
+	c Counter
+	_ [7]int64
+}
+
+// AddDoc records one finished document with its sentence and statement
+// counts. No-op on a nil slot.
+func (s *WorkerSlot) AddDoc(sentences, statements int64) {
+	if s == nil {
+		return
+	}
+	s.docs.c.Add(1)
+	s.sentences.c.Add(sentences)
+	s.statements.c.Add(statements)
+}
+
+// startRun resets the per-run state. Called by the pipeline at the top of
+// a run; safe to call again for subsequent runs with the same Progress.
+func (p *Progress) startRun(totalDocs, workers int) {
+	if p == nil {
+		return
+	}
+	slots := make([]*WorkerSlot, workers)
+	for i := range slots {
+		slots[i] = &WorkerSlot{}
+	}
+	p.mu.Lock()
+	p.total = int64(totalDocs)
+	p.started = p.clock.Now()
+	p.running = true
+	p.workers = slots
+	p.phase = ""
+	p.mu.Unlock()
+}
+
+// endRun marks the run finished (rates freeze at the final reading).
+func (p *Progress) endRun() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running = false
+	p.mu.Unlock()
+}
+
+// setPhase records the currently executing phase name.
+func (p *Progress) setPhase(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase = name
+	p.mu.Unlock()
+}
+
+// worker returns the slot for worker id, or nil when id is out of range
+// (or p is nil).
+func (p *Progress) worker(id int) *WorkerSlot {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.workers) {
+		return nil
+	}
+	return p.workers[id]
+}
+
+// WorkerCounts is one worker's row in a progress snapshot.
+type WorkerCounts struct {
+	Worker     int   `json:"worker"`
+	Documents  int64 `json:"documents"`
+	Sentences  int64 `json:"sentences"`
+	Statements int64 `json:"statements"`
+}
+
+// ProgressSnapshot is a point-in-time view of the run.
+type ProgressSnapshot struct {
+	Phase              string         `json:"phase,omitempty"`
+	Running            bool           `json:"running"`
+	DocumentsTotal     int64          `json:"documents_total"`
+	DocumentsProcessed int64          `json:"documents_processed"`
+	Sentences          int64          `json:"sentences"`
+	Statements         int64          `json:"statements"`
+	ElapsedSeconds     float64        `json:"elapsed_seconds"`
+	DocsPerSec         float64        `json:"docs_per_sec"`
+	SentencesPerSec    float64        `json:"sentences_per_sec"`
+	Workers            []WorkerCounts `json:"workers,omitempty"`
+}
+
+// Snapshot reads the current progress. Safe to call from any goroutine at
+// any time, including mid-run. A nil Progress yields a zero snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	snap := ProgressSnapshot{
+		Phase:          p.phase,
+		Running:        p.running,
+		DocumentsTotal: p.total,
+		Workers:        make([]WorkerCounts, len(p.workers)),
+	}
+	elapsed := p.clock.Now() - p.started
+	workers := p.workers
+	p.mu.Unlock()
+
+	for i, slot := range workers {
+		snap.Workers[i] = WorkerCounts{
+			Worker:     i,
+			Documents:  slot.docs.c.Value(),
+			Sentences:  slot.sentences.c.Value(),
+			Statements: slot.statements.c.Value(),
+		}
+		snap.DocumentsProcessed += snap.Workers[i].Documents
+		snap.Sentences += snap.Workers[i].Sentences
+		snap.Statements += snap.Workers[i].Statements
+	}
+	snap.ElapsedSeconds = elapsed.Seconds()
+	if snap.ElapsedSeconds > 0 {
+		snap.DocsPerSec = float64(snap.DocumentsProcessed) / snap.ElapsedSeconds
+		snap.SentencesPerSec = float64(snap.Sentences) / snap.ElapsedSeconds
+	}
+	return snap
+}

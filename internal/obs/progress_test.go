@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProgressSnapshotMath(t *testing.T) {
+	clock := &ManualClock{}
+	p := NewProgress(clock)
+	p.startRun(10, 2)
+	p.setPhase("extract")
+	p.worker(0).AddDoc(3, 2)
+	p.worker(0).AddDoc(1, 0)
+	p.worker(1).AddDoc(4, 5)
+	clock.Advance(2 * time.Second)
+
+	snap := p.Snapshot()
+	if snap.Phase != "extract" || !snap.Running {
+		t.Errorf("phase/running = %q/%v", snap.Phase, snap.Running)
+	}
+	if snap.DocumentsTotal != 10 || snap.DocumentsProcessed != 3 {
+		t.Errorf("documents = %d/%d, want 3/10", snap.DocumentsProcessed, snap.DocumentsTotal)
+	}
+	if snap.Sentences != 8 || snap.Statements != 7 {
+		t.Errorf("sentences/statements = %d/%d, want 8/7", snap.Sentences, snap.Statements)
+	}
+	if snap.ElapsedSeconds != 2 || snap.DocsPerSec != 1.5 || snap.SentencesPerSec != 4 {
+		t.Errorf("rates = %g s, %g docs/s, %g sents/s", snap.ElapsedSeconds, snap.DocsPerSec, snap.SentencesPerSec)
+	}
+	if len(snap.Workers) != 2 || snap.Workers[1].Documents != 1 {
+		t.Errorf("workers = %+v", snap.Workers)
+	}
+
+	p.endRun()
+	if p.Snapshot().Running {
+		t.Error("still running after endRun")
+	}
+}
+
+func TestProgressRestartResets(t *testing.T) {
+	p := NewProgress(&ManualClock{})
+	p.startRun(5, 1)
+	p.worker(0).AddDoc(1, 1)
+	p.startRun(7, 1)
+	snap := p.Snapshot()
+	if snap.DocumentsTotal != 7 || snap.DocumentsProcessed != 0 {
+		t.Errorf("second run snapshot = %+v, want fresh counters", snap)
+	}
+}
+
+func TestProgressOutOfRangeWorker(t *testing.T) {
+	p := NewProgress(&ManualClock{})
+	p.startRun(1, 1)
+	if p.worker(-1) != nil || p.worker(5) != nil {
+		t.Error("out-of-range worker ids must yield nil (inert) slots")
+	}
+	p.worker(5).AddDoc(1, 1) // must not panic
+}
+
+func TestNilProgress(t *testing.T) {
+	var p *Progress
+	p.startRun(1, 1)
+	p.setPhase("x")
+	p.worker(0).AddDoc(1, 1)
+	p.endRun()
+	if snap := p.Snapshot(); snap.Running || snap.DocumentsTotal != 0 {
+		t.Errorf("nil progress snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Error("re-registering the same counter returned a new handle")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+}
+
+func TestNilHandlesAreInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", []float64{1})
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", snap)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: inclusive upper
+// bounds, one overflow bucket at +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 5, 5.0001, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(snap))
+	}
+	m := snap[0]
+	wantCounts := []int64{2, 2, 1, 2} // (-inf,1] (1,2] (2,5] (5,+inf)
+	wantBounds := []float64{1, 2, 5, math.Inf(1)}
+	if len(m.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(m.Buckets), len(wantCounts))
+	}
+	for i, b := range m.Buckets {
+		if float64(b.UpperBound) != wantBounds[i] || b.Count != wantCounts[i] {
+			t.Errorf("bucket %d = {le=%g n=%d}, want {le=%g n=%d}",
+				i, float64(b.UpperBound), b.Count, wantBounds[i], wantCounts[i])
+		}
+	}
+	if m.Count != 7 {
+		t.Errorf("count = %d, want 7", m.Count)
+	}
+	if want := 0.5 + 1 + 1.0001 + 2 + 5 + 5.0001 + 100; math.Abs(m.Sum-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", m.Sum, want)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("h", "", []float64{1, 1})
+}
+
+// TestSnapshotUnderConcurrentWriters exercises the lock-free write paths
+// against concurrent snapshots; run with -race this is the data-race proof,
+// and the final totals must be exact.
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+
+	const writers, perWriter = 8, 1000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+				r.WritePrometheus(&strings.Builder{})
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Errorf("gauge = %g, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output:
+// HELP/TYPE lines, cumulative buckets, +Inf, _sum/_count, name-sorted.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("surveyor_documents_total", "documents processed").Add(12)
+	r.Gauge("surveyor_groups_modelled", "modelled groups").Set(3.5)
+	h := r.Histogram("surveyor_em_iterations", "iterations per fit", []float64{1, 5})
+	h.Observe(1)
+	h.Observe(4)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP surveyor_documents_total documents processed
+# TYPE surveyor_documents_total counter
+surveyor_documents_total 12
+# HELP surveyor_em_iterations iterations per fit
+# TYPE surveyor_em_iterations histogram
+surveyor_em_iterations_bucket{le="1"} 1
+surveyor_em_iterations_bucket{le="5"} 2
+surveyor_em_iterations_bucket{le="+Inf"} 3
+surveyor_em_iterations_sum 14
+surveyor_em_iterations_count 3
+# HELP surveyor_groups_modelled modelled groups
+# TYPE surveyor_groups_modelled gauge
+surveyor_groups_modelled 3.5
+`
+	if sb.String() != want {
+		t.Errorf("Prometheus text mismatch:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestJSONFloatRoundTrip: non-finite values survive a JSON round trip as
+// strings (encoding/json rejects bare Inf/NaN).
+func TestJSONFloatRoundTrip(t *testing.T) {
+	in := []JSONFloat{1.5, JSONFloat(math.Inf(1)), JSONFloat(math.Inf(-1)), JSONFloat(math.NaN())}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if want := `[1.5,"+Inf","-Inf","NaN"]`; string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	var out []JSONFloat
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if float64(out[0]) != 1.5 || !math.IsInf(float64(out[1]), 1) ||
+		!math.IsInf(float64(out[2]), -1) || !math.IsNaN(float64(out[3])) {
+		t.Errorf("round trip = %v", out)
+	}
+}

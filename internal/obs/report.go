@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable summary of one run, written by
+// cmd/surveyor's -report flag: run statistics, per-phase wall times, the
+// full metric snapshot, and the EM convergence telemetry.
+type Report struct {
+	// Run identification.
+	GoVersion string `json:"go_version"`
+	Workers   int    `json:"workers"`
+	Rho       int64  `json:"rho"`
+	Version   int    `json:"pattern_version"`
+
+	// Corpus and output statistics.
+	Documents         int   `json:"documents"`
+	Sentences         int64 `json:"sentences"`
+	Statements        int64 `json:"statements"`
+	DistinctPairs     int   `json:"distinct_pairs"`
+	PairsBeforeFilter int   `json:"pairs_before_filter"`
+	Groups            int   `json:"groups_modelled"`
+	Opinions          int64 `json:"opinions"`
+
+	// Per-phase wall times, milliseconds.
+	TimingsMillis map[string]int64 `json:"timings_ms"`
+
+	// Telemetry snapshots.
+	Metrics []Metric   `json:"metrics,omitempty"`
+	EM      EMSnapshot `json:"em,omitempty"`
+}
+
+// NewReport returns a report pre-filled with toolchain identification.
+func NewReport() *Report {
+	return &Report{
+		GoVersion:     runtime.Version(),
+		TimingsMillis: map[string]int64{},
+	}
+}
+
+// Attach fills the telemetry sections from a RunObs (nil leaves them
+// empty).
+func (r *Report) Attach(o *RunObs) {
+	if o == nil {
+		return
+	}
+	r.Metrics = o.Metrics.Snapshot()
+	r.EM = o.EM.Snapshot()
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func populatedRunObs() *RunObs {
+	clock := &ManualClock{}
+	o := &RunObs{
+		Metrics:  NewRegistry(),
+		Tracer:   NewTracer(clock),
+		EM:       NewEMRecorder(),
+		Progress: NewProgress(clock),
+		Clock:    clock,
+	}
+	o.StartRun(4, 1)
+	pm := o.PipelineMetrics()
+	span := o.Phase("extract")
+	w := o.Worker(0)
+	w.DocStart()
+	clock.Advance(time.Millisecond)
+	w.DocEnd(0, 2, 1)
+	w.Close("extract")
+	pm.Documents.Add(4)
+	span.End()
+	g := o.EMGroup("city", "big", 3)
+	g.Iter(0.8, 1, 0.5, -10)
+	g.Done(1, true, -10)
+	pm.EMIterations.Observe(1)
+	o.EndRun()
+	return o
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(body), resp
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	o := populatedRunObs()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE surveyor_documents_total counter",
+		"surveyor_documents_total 4",
+		`surveyor_em_iterations_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, _ = get(t, srv, "/progress")
+	var ps ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &ps); err != nil {
+		t.Fatalf("/progress: %v", err)
+	}
+	if ps.DocumentsProcessed != 1 || ps.DocumentsTotal != 4 || ps.Running {
+		t.Errorf("/progress = %+v", ps)
+	}
+
+	body, _ = get(t, srv, "/trace")
+	var tf chromeFile
+	if err := json.Unmarshal([]byte(body), &tf); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Errorf("/trace has %d events, want 3", len(tf.TraceEvents))
+	}
+
+	body, _ = get(t, srv, "/em")
+	var es EMSnapshot
+	if err := json.Unmarshal([]byte(body), &es); err != nil {
+		t.Fatalf("/em: %v", err)
+	}
+	if es.Groups != 1 || es.Converged != 1 {
+		t.Errorf("/em = %+v", es)
+	}
+
+	body, _ = get(t, srv, "/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, _ = get(t, srv, "/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["surveyor_metrics"]; !ok {
+		t.Error("/debug/vars missing surveyor_metrics")
+	}
+	if _, ok := vars["surveyor_progress"]; !ok {
+		t.Error("/debug/vars missing surveyor_progress")
+	}
+
+	if body, _ = get(t, srv, "/"); !strings.Contains(body, "/debug/pprof/") {
+		t.Error("index page missing pprof link")
+	}
+	if _, resp = get(t, srv, "/nonexistent"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+	if body, _ = get(t, srv, "/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("pprof index not served")
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	o := populatedRunObs()
+	ds, err := StartDebugServer("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+	if err := ds.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	var nilServer *DebugServer
+	if err := nilServer.Close(); err != nil {
+		t.Errorf("nil server close: %v", err)
+	}
+}
+
+func TestHandlerWithNilRunObs(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/progress", "/trace", "/em", "/healthz"} {
+		_, resp := get(t, srv, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with nil RunObs: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects complete ("ph":"X") spans for phases, workers, and
+// sampled per-document loops, and exports them as Chrome trace-event JSON
+// — the format Perfetto and chrome://tracing load directly.
+//
+// Phase spans are appended under a mutex (there are a handful per run).
+// Worker-loop spans are buffered in worker-owned WorkerTrace slices and
+// folded in once per worker, so the hot path never contends on the
+// tracer. Event volume is bounded: each worker keeps at most PerWorkerCap
+// document spans (beyond that only the drop counter moves), and DocSample
+// records every Nth document.
+type Tracer struct {
+	clock Clock
+
+	// DocSample records one document span per this many documents per
+	// worker (1 = every document). Set before the run starts.
+	DocSample int
+	// PerWorkerCap bounds the document spans buffered per worker.
+	PerWorkerCap int
+
+	mu      sync.Mutex
+	events  []traceEvent
+	dropped atomic.Int64
+}
+
+const (
+	defaultDocSample    = 1
+	defaultPerWorkerCap = 1 << 13
+)
+
+// NewTracer returns a tracer reading timestamps from clock (nil selects
+// the shared system clock).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{
+		clock:        clockOrDefault(clock),
+		DocSample:    defaultDocSample,
+		PerWorkerCap: defaultPerWorkerCap,
+	}
+}
+
+// traceEvent is one complete span in the Chrome trace-event model.
+type traceEvent struct {
+	name     string
+	cat      string
+	tid      int64
+	start    time.Duration
+	duration time.Duration
+	args     map[string]int64
+}
+
+// tid values: phases render on thread 0, worker w on thread w+1.
+const phaseTid = 0
+
+// append folds events into the shared buffer.
+func (t *Tracer) append(evs ...traceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
+}
+
+// Dropped returns the number of document spans discarded by the
+// per-worker cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// WorkerTrace is a worker-owned span buffer: document spans are appended
+// without locks and folded into the tracer once, when the worker calls
+// close.
+type WorkerTrace struct {
+	tracer  *Tracer
+	tid     int64
+	sample  int
+	cap     int
+	seen    int
+	start   time.Duration
+	events  []traceEvent
+	dropped int64
+}
+
+// worker returns a buffer for worker id (zero-based) in the given phase.
+func (t *Tracer) worker(id int) *WorkerTrace {
+	if t == nil {
+		return nil
+	}
+	sample := t.DocSample
+	if sample <= 0 {
+		sample = defaultDocSample
+	}
+	capacity := t.PerWorkerCap
+	if capacity <= 0 {
+		capacity = defaultPerWorkerCap
+	}
+	return &WorkerTrace{tracer: t, tid: int64(id) + 1, sample: sample, cap: capacity}
+}
+
+// docStart marks the beginning of one document's processing and reports
+// whether this document is sampled (callers skip docEnd bookkeeping
+// otherwise).
+func (wt *WorkerTrace) docStart() bool {
+	if wt == nil {
+		return false
+	}
+	wt.seen++
+	if (wt.seen-1)%wt.sample != 0 {
+		return false
+	}
+	if len(wt.events) >= wt.cap {
+		wt.dropped++
+		return false
+	}
+	wt.start = wt.tracer.clock.Now()
+	return true
+}
+
+// docEnd closes the span opened by the last successful docStart.
+func (wt *WorkerTrace) docEnd(doc int, sentences, statements int64) {
+	if wt == nil {
+		return
+	}
+	now := wt.tracer.clock.Now()
+	wt.events = append(wt.events, traceEvent{
+		name:     "doc",
+		cat:      "doc",
+		tid:      wt.tid,
+		start:    wt.start,
+		duration: now - wt.start,
+		args:     map[string]int64{"doc": int64(doc), "sentences": sentences, "statements": statements},
+	})
+}
+
+// close folds the buffered spans (plus one covering span for the worker's
+// whole loop) into the tracer.
+func (wt *WorkerTrace) close(phase string, loopStart, loopEnd time.Duration, docs int64) {
+	if wt == nil {
+		return
+	}
+	wt.events = append(wt.events, traceEvent{
+		name:     phase + "/worker",
+		cat:      "worker",
+		tid:      wt.tid,
+		start:    loopStart,
+		duration: loopEnd - loopStart,
+		args:     map[string]int64{"docs": docs},
+	})
+	wt.tracer.append(wt.events...)
+	if wt.dropped > 0 {
+		wt.tracer.dropped.Add(wt.dropped)
+	}
+	wt.events = nil
+}
+
+// chromeEvent is the JSON shape of one trace event.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`  // microseconds
+	Dur  float64          `json:"dur"` // microseconds
+	Pid  int              `json:"pid"`
+	Tid  int64            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the collected spans as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, len(events))}
+	for i, e := range events {
+		out.TraceEvents[i] = chromeEvent{
+			Name: e.name,
+			Cat:  e.cat,
+			Ph:   "X",
+			Ts:   float64(e.start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  e.tid,
+			Args: e.args,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// EventCount returns the number of collected spans.
+func (t *Tracer) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/annotate"
 	"repro/internal/core"
@@ -49,18 +48,24 @@ func Annotate(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, workers
 func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	res := &Result{Documents: len(docs)}
+	o := cfg.Obs
+	workers := workerCount(cfg.Workers, len(docs))
+	o.StartRun(len(docs), workers)
+	total := o.Phase("run")
 
-	start := time.Now()
+	span := o.Phase("extract")
+	pm := o.PipelineMetrics()
 	store := evidence.NewStore()
 	extractor := extract.NewVersion(lex, cfg.Version)
 	var sentences atomic.Int64
 
 	var wg sync.WaitGroup
 	var next atomic.Int64
-	for w := 0; w < workerCount(cfg.Workers, len(docs)); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wo := o.Worker(w)
 			local := int64(0)
 			acc := evidence.NewLocal()
 			var stmts []extract.Statement
@@ -69,9 +74,12 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 				if di >= len(docs) {
 					break
 				}
+				wo.DocStart()
+				docSents, docStmts := int64(0), int64(0)
 				for si := range docs[di].Sentence {
 					s := &docs[di].Sentence[si]
 					local++
+					docSents++
 					if s.Tree == nil || len(s.Mentions) == 0 {
 						continue
 					}
@@ -79,20 +87,29 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 					for _, st := range stmts {
 						acc.Add(st)
 					}
+					docStmts += int64(len(stmts))
 				}
+				wo.DocEnd(di, docSents, docStmts)
+				pm.DocSentences.Observe(float64(docSents))
 			}
 			acc.FlushTo(store)
 			sentences.Add(local)
-		}()
+			wo.Close("extract")
+		}(w)
 	}
 	wg.Wait()
 	res.Store = store
 	res.Sentences = sentences.Load()
 	res.TotalStatements = store.TotalStatements()
 	res.DistinctPairs = store.Len()
-	res.Timings.Extraction = time.Since(start)
+	res.Timings.Extraction = span.End()
+	pm.Documents.Add(int64(res.Documents))
+	pm.Sentences.Add(res.Sentences)
+	pm.Statements.Add(res.TotalStatements)
 
 	finishRun(res, base, cfg)
+	res.Timings.Total = total.End()
+	o.EndRun()
 	return res
 }
 
@@ -107,24 +124,35 @@ func RunFromStore(store *evidence.Store, base *kb.KB, cfg Config) *Result {
 		TotalStatements: store.TotalStatements(),
 		DistinctPairs:   store.Len(),
 	}
+	total := cfg.Obs.Phase("run")
 	finishRun(res, base, cfg)
+	res.Timings.Total = total.End()
+	cfg.Obs.EndRun()
 	return res
 }
 
 // finishRun performs the grouping and EM phases shared by Run and
 // RunAnnotated, then builds the lookup index.
 func finishRun(res *Result, base *kb.KB, cfg Config) {
+	o := cfg.Obs
+	pm := o.PipelineMetrics()
+
 	// Grouping: one parallel per-shard pass computes both the before-ρ pair
 	// count and the grouped aggregates.
-	start := time.Now()
-	groups, before := evidence.ParallelGroup(res.Store, base, cfg.Rho, cfg.Workers)
+	span := o.Phase("group")
+	groups, before := evidence.ParallelGroupObserved(res.Store, base, cfg.Rho, cfg.Workers, o.Grouping())
 	res.PairsBeforeFilter = before
-	res.Timings.Grouping = time.Since(start)
+	res.Timings.Grouping = span.End()
+	pm.DistinctPairs.Set(float64(res.DistinctPairs))
+	pm.PairsBefore.Set(float64(before))
+	pm.Groups.Set(float64(len(groups)))
 
 	// EM: a fixed worker pool claims groups through an atomic counter, so
 	// each worker reuses one tuple buffer instead of allocating per group.
-	// (FitAndClassify copies what it keeps.)
-	start = time.Now()
+	// (FitAndClassify copies what it keeps.) Convergence telemetry flows
+	// through a write-only per-group observer — it cannot alter the fit,
+	// so obs-on and obs-off runs stay bit-identical.
+	span = o.Phase("em")
 	res.Groups = make([]GroupResult, len(groups))
 	var emWG sync.WaitGroup
 	var nextGroup atomic.Int64
@@ -147,7 +175,22 @@ func finishRun(res *Result, base *kb.KB, cfg Config) {
 				for i, ec := range g.Entities {
 					tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
 				}
-				model, results, trace := core.FitAndClassify(tuples, cfg.EM)
+				emCfg := cfg.EM
+				gobs := o.EMGroup(g.Key.Type, g.Key.Property, len(g.Entities))
+				if gobs != nil {
+					emCfg.Observer = func(_ int, p core.Params, ll float64) {
+						gobs.Iter(p.PA, p.NpPlus, p.NpMinus, ll)
+					}
+				}
+				model, results, trace := core.FitAndClassify(tuples, emCfg)
+				if gobs != nil {
+					finalLL := 0.0
+					if n := len(trace.LogLikelihoods); n > 0 {
+						finalLL = trace.LogLikelihoods[n-1]
+					}
+					gobs.Done(trace.Iterations, trace.Converged, finalLL)
+				}
+				pm.EMIterations.Observe(float64(trace.Iterations))
 				gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
 					Entities: make([]EntityOpinion, len(g.Entities))}
 				for i, ec := range g.Entities {
@@ -164,8 +207,10 @@ func finishRun(res *Result, base *kb.KB, cfg Config) {
 		}()
 	}
 	emWG.Wait()
-	res.Timings.EM = time.Since(start)
+	res.Timings.EM = span.End()
 
+	// Index: the O(1) lookup structures over groups and opinions.
+	span = o.Phase("index")
 	totalEntities := 0
 	for gi := range res.Groups {
 		totalEntities += len(res.Groups[gi].Entities)
@@ -179,4 +224,6 @@ func finishRun(res *Result, base *kb.KB, cfg Config) {
 			res.index[opinionKey{g.Entities[i].Entity, g.Key.Property}] = &g.Entities[i]
 		}
 	}
+	res.Timings.Index = span.End()
+	pm.Opinions.Add(int64(totalEntities))
 }

@@ -5,6 +5,14 @@
 // classification of every knowledge-base entity — including entities with
 // no evidence at all. Per-phase timings are recorded for the Section-7.1
 // analysis.
+//
+// Observability: a Config.Obs sink receives write-only telemetry (metrics,
+// phase/worker spans, EM convergence trajectories, live progress). The
+// pipeline never reads obs state — timestamps flow through the obs-owned
+// clock and the only value that returns is each phase span's duration,
+// which feeds Result.Timings (explicitly outside the determinism
+// contract). Runs with a live sink are bit-identical to runs with a nil
+// one; the testkit differential suite proves it.
 package pipeline
 
 import (
@@ -22,6 +30,7 @@ import (
 	"repro/internal/nlp/lexicon"
 	"repro/internal/nlp/pos"
 	"repro/internal/nlp/token"
+	"repro/internal/obs"
 	"repro/internal/tagger"
 )
 
@@ -36,6 +45,10 @@ type Config struct {
 	Version extract.Version
 	// EM configures the per-group fit.
 	EM core.EMConfig
+	// Obs is the optional observability sink. Nil disables all telemetry
+	// at the cost of one branch per record call; results are bit-identical
+	// either way.
+	Obs *obs.RunObs
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -83,11 +96,16 @@ type GroupResult struct {
 }
 
 // Timings holds per-phase wall-clock durations (Section 7.1 reports these
-// for the production run).
+// for the production run). Timings are the one schedule-dependent field
+// of a Result: the differential suite ignores them.
 type Timings struct {
 	Extraction time.Duration
 	Grouping   time.Duration
 	EM         time.Duration
+	// Index is the time to build the opinion/group lookup indexes.
+	Index time.Duration
+	// Total is the whole run, end to end.
+	Total time.Duration
 }
 
 // Result is the output of a pipeline run.
@@ -137,9 +155,14 @@ func (r *Result) Group(typ, property string) (*GroupResult, bool) {
 func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	res := &Result{Documents: len(docs)}
+	o := cfg.Obs
+	workers := workerCount(cfg.Workers, len(docs))
+	o.StartRun(len(docs), workers)
+	total := o.Phase("run")
 
 	// Phase 1: parallel extraction (map).
-	start := time.Now()
+	span := o.Phase("extract")
+	pm := o.PipelineMetrics()
 	store := evidence.NewStore()
 	var sentences atomic.Int64
 	posTagger := pos.New(lex)
@@ -155,13 +178,16 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	//
 	// Each worker owns one set of NLP scratch buffers (reused across every
 	// sentence it processes) and a private evidence accumulator folded into
-	// the shared store once at the end.
+	// the shared store once at the end. Telemetry goes through a worker-
+	// owned obs handle (per-worker progress slot, locally buffered spans),
+	// so the hot loop never contends on a shared observability structure.
 	var wg sync.WaitGroup
 	var next atomic.Int64
-	for w := 0; w < workerCount(cfg.Workers, len(docs)); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wo := o.Worker(w)
 			local := int64(0)
 			acc := evidence.NewLocal()
 			var (
@@ -178,9 +204,12 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 				if i >= len(docs) {
 					break
 				}
+				wo.DocStart()
+				docSents, docStmts := int64(0), int64(0)
 				sents, toks = token.SplitSentencesInto(sents[:0], toks[:0], docs[i].Text)
 				for _, sent := range sents {
 					local++
+					docSents++
 					tagged = posTagger.TagInto(tagged[:0], sent)
 					mentions = entTagger.TagInto(mentions[:0], &tsc, tagged)
 					if len(mentions) == 0 {
@@ -191,21 +220,30 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 					for _, st := range stmts {
 						acc.Add(st)
 					}
+					docStmts += int64(len(stmts))
 				}
+				wo.DocEnd(i, docSents, docStmts)
+				pm.DocSentences.Observe(float64(docSents))
 			}
 			acc.FlushTo(store)
 			sentences.Add(local)
-		}()
+			wo.Close("extract")
+		}(w)
 	}
 	wg.Wait()
 	res.Store = store
 	res.Sentences = sentences.Load()
 	res.TotalStatements = store.TotalStatements()
 	res.DistinctPairs = store.Len()
-	res.Timings.Extraction = time.Since(start)
+	res.Timings.Extraction = span.End()
+	pm.Documents.Add(int64(res.Documents))
+	pm.Sentences.Add(res.Sentences)
+	pm.Statements.Add(res.TotalStatements)
 
 	// Phases 2-3 (grouping, EM) and the lookup index are shared with
 	// RunAnnotated.
 	finishRun(res, base, cfg)
+	res.Timings.Total = total.End()
+	o.EndRun()
 	return res
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/kb"
 	"repro/internal/nlp/lexicon"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/threshold"
@@ -131,6 +132,10 @@ type Config struct {
 	PatternVersion int
 	// EMIterations caps the per-group EM loop (0 = default 50).
 	EMIterations int
+	// Obs is an optional observability sink (metrics, tracing, EM
+	// telemetry, live progress). Nil disables all telemetry; mined results
+	// are bit-identical either way.
+	Obs *obs.RunObs
 }
 
 // Result exposes the mined opinions.
@@ -153,6 +158,7 @@ func (s *System) Mine(docs []Document, cfg Config) *Result {
 		Workers: cfg.Workers,
 		Rho:     cfg.Rho,
 		Version: extract.Version(cfg.PatternVersion),
+		Obs:     cfg.Obs,
 	}
 	if cfg.EMIterations > 0 {
 		pcfg.EM = core.DefaultEMConfig()
@@ -255,6 +261,8 @@ type Stats struct {
 	ExtractionMillis  int64
 	GroupingMillis    int64
 	EMMillis          int64
+	IndexMillis       int64 // lookup-index construction
+	TotalMillis       int64 // whole run, end to end
 }
 
 // Stats returns the run statistics.
@@ -274,6 +282,8 @@ func (r *Result) Stats() Stats {
 		ExtractionMillis:  r.res.Timings.Extraction.Milliseconds(),
 		GroupingMillis:    r.res.Timings.Grouping.Milliseconds(),
 		EMMillis:          r.res.Timings.EM.Milliseconds(),
+		IndexMillis:       r.res.Timings.Index.Milliseconds(),
+		TotalMillis:       r.res.Timings.Total.Milliseconds(),
 	}
 }
 
@@ -283,10 +293,10 @@ func (r *Result) SaveEvidence(w io.Writer) error { return r.res.Store.Save(w) }
 // String renders a short report.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"documents=%d sentences=%d statements=%d pairs=%d groups=%d/%d opinions=%d (extract %dms, group %dms, em %dms)",
+		"documents=%d sentences=%d statements=%d pairs=%d groups=%d/%d opinions=%d (extract %dms, group %dms, em %dms, index %dms, total %dms)",
 		s.Documents, s.Sentences, s.Statements, s.DistinctPairs,
 		s.ModelledGroups, s.PairsBeforeFilter, s.OpinionsProduced,
-		s.ExtractionMillis, s.GroupingMillis, s.EMMillis)
+		s.ExtractionMillis, s.GroupingMillis, s.EMMillis, s.IndexMillis, s.TotalMillis)
 }
 
 // --- Subjective query answering (the paper's motivating application) --------
