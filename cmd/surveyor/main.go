@@ -5,10 +5,19 @@
 // Usage:
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
+//	         [-stream] [-lenient]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	         [-debug-addr ADDR] [-linger DUR] [-report FILE]
 //
-// With no -in, a demonstration corpus is generated on the fly.
+// With no -in, a demonstration corpus is generated on the fly. -stream
+// feeds the corpus through the bounded-memory streaming pipeline instead
+// of loading it whole; -lenient skips and counts malformed or oversized
+// corpus lines instead of aborting.
+//
+// SIGINT/SIGTERM cancel the run at document granularity: the documents
+// processed so far are still grouped and modelled, the partial statistics
+// and -report are flushed on the way down, and the process exits 130. A
+// second signal kills the process immediately.
 //
 // Observability: -debug-addr starts a live debug server (Prometheus
 // /metrics, /progress, /trace for Perfetto, /em, expvar, pprof); -linger
@@ -18,10 +27,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/corpus"
@@ -43,6 +56,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "extraction parallelism (0 = all cores)")
 	top := flag.Int("top", 10, "entities to print per modelled group")
 	in := flag.String("in", "", "input corpus (JSON lines); empty generates a demo snapshot")
+	stream := flag.Bool("stream", false, "stream the corpus through the pipeline in bounded memory (requires -in)")
+	lenient := flag.Bool("lenient", false, "skip and count malformed or oversized corpus lines instead of aborting")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -81,10 +96,60 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/ (metrics, progress, trace, em, pprof)\n", ds.Addr)
 	}
 
-	sys := surveyor.NewSystemWithBuiltinKB(*seed)
+	// SIGINT/SIGTERM cancel the mining run; stopSignals restores default
+	// signal handling afterwards, so a second signal (or one during
+	// -linger) kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
-	var docs []surveyor.Document
-	if *in == "" {
+	if *stream && *in == "" {
+		fmt.Fprintln(os.Stderr, "-stream requires -in (the demo snapshot is generated in memory)")
+		return 1
+	}
+
+	sys := surveyor.NewSystemWithBuiltinKB(*seed)
+	cfg := surveyor.Config{
+		Rho:            *rho,
+		PatternVersion: *version,
+		Workers:        *workers,
+		Obs:            o,
+	}
+
+	var res *surveyor.Result
+	var mineErr error
+	var loadSkipped int64
+	switch {
+	case *stream:
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		res, mineErr = sys.MineJSONL(ctx, f, surveyor.StreamOptions{Lenient: *lenient}, cfg)
+		f.Close()
+	case *in != "":
+		var docs []surveyor.Document
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		it := corpus.NewIterator(f, corpus.IteratorConfig{Lenient: *lenient})
+		for it.Next() {
+			d := it.Doc()
+			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
+		}
+		f.Close()
+		if err := it.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if loadSkipped = it.Stats().Skipped(); loadSkipped > 0 {
+			fmt.Fprintf(os.Stderr, "skipped %d malformed or oversized corpus lines\n", loadSkipped)
+		}
+		res, mineErr = sys.MineContext(ctx, docs, cfg)
+	default:
+		var docs []surveyor.Document
 		base := kb.Default(*seed)
 		snap := corpus.NewGenerator(base, corpus.Table2Specs(),
 			corpus.Config{Seed: *seed, Scale: 1}).Generate()
@@ -92,34 +157,37 @@ func run() int {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
 		}
 		fmt.Fprintf(os.Stderr, "generated demo snapshot: %d documents\n", len(docs))
-	} else {
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		res, mineErr = sys.MineContext(ctx, docs, cfg)
+	}
+	stopSignals()
+
+	// A partial run (signal, corpus read failure) still carries a
+	// consistent result: report it, flush everything, exit non-zero.
+	exit := 0
+	partialCause := ""
+	if mineErr != nil {
+		var pe *surveyor.PartialError
+		if !errors.As(mineErr, &pe) {
+			fmt.Fprintln(os.Stderr, mineErr)
 			return 1
 		}
-		loaded, err := corpus.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		partialCause = pe.Err.Error()
+		if errors.Is(mineErr, context.Canceled) {
+			exit = 130
+		} else {
+			exit = 1
 		}
-		for _, d := range loaded {
-			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
-		}
+		fmt.Fprintf(os.Stderr, "run stopped early (%s) — reporting the partial result\n", partialCause)
 	}
 
-	res := sys.Mine(docs, surveyor.Config{
-		Rho:            *rho,
-		PatternVersion: *version,
-		Workers:        *workers,
-		Obs:            o,
-	})
 	stats := res.Stats()
 	fmt.Fprintln(os.Stderr, stats.String())
+	if q := res.Quarantined(); len(q) > 0 {
+		fmt.Fprintf(os.Stderr, "quarantined %d documents (first: doc %d: %s)\n", len(q), q[0].Doc, q[0].Reason)
+	}
 
 	if *reportPath != "" {
-		if err := writeReport(*reportPath, stats, o, *workers, *rho, *version); err != nil {
+		if err := writeReport(*reportPath, stats, o, *workers, *rho, *version, loadSkipped, partialCause); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -139,7 +207,7 @@ func run() int {
 		for _, a := range answers {
 			fmt.Printf("%s %-24s p=%.3f (+%d/-%d)\n", "+", a.Entity, a.Probability, a.Pos, a.Neg)
 		}
-		return 0
+		return exit
 	}
 
 	for _, g := range res.Groups() {
@@ -158,12 +226,12 @@ func run() int {
 				eo.Opinion, eo.Entity, eo.Probability, eo.Pos, eo.Neg)
 		}
 	}
-	return 0
+	return exit
 }
 
 // writeReport fills an obs.Report from the run statistics and telemetry
 // and writes it as indented JSON.
-func writeReport(path string, stats surveyor.Stats, o *obs.RunObs, workers int, rho int64, version int) error {
+func writeReport(path string, stats surveyor.Stats, o *obs.RunObs, workers int, rho int64, version int, loadSkipped int64, partialCause string) error {
 	rep := obs.NewReport()
 	rep.Workers = workers
 	rep.Rho = rho
@@ -175,6 +243,10 @@ func writeReport(path string, stats surveyor.Stats, o *obs.RunObs, workers int, 
 	rep.PairsBeforeFilter = stats.PairsBeforeFilter
 	rep.Groups = stats.ModelledGroups
 	rep.Opinions = stats.OpinionsProduced
+	rep.QuarantinedDocs = int64(stats.QuarantinedDocs)
+	rep.SkippedLines = stats.SkippedLines + loadSkipped
+	rep.Partial = partialCause != ""
+	rep.PartialCause = partialCause
 	rep.TimingsMillis["extract"] = stats.ExtractionMillis
 	rep.TimingsMillis["group"] = stats.GroupingMillis
 	rep.TimingsMillis["em"] = stats.EMMillis

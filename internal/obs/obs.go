@@ -184,9 +184,20 @@ type PipelineMetrics struct {
 	PairsBefore   *Gauge   // surveyor_pairs_before_filter
 	Groups        *Gauge   // surveyor_groups_modelled
 	Opinions      *Counter // surveyor_opinions_total
-	EMIterations  *Histogram
-	DocSentences  *Histogram
+	// QuarantinedDocs and SkippedLines are the fault-boundary health
+	// signals: /healthz degrades when either is non-zero.
+	QuarantinedDocs *Counter // MetricQuarantinedDocs
+	SkippedLines    *Counter // MetricSkippedLines
+	EMIterations    *Histogram
+	DocSentences    *Histogram
 }
+
+// Metric names shared between the pipeline's recording side and the debug
+// server's /healthz read side.
+const (
+	MetricQuarantinedDocs = "surveyor_quarantined_docs_total"
+	MetricSkippedLines    = "surveyor_corpus_skipped_lines_total"
+)
 
 // defaultEMIterBounds covers the DefaultEMConfig iteration budget (50).
 var defaultEMIterBounds = []float64{1, 2, 3, 5, 8, 12, 20, 30, 50}
@@ -211,6 +222,10 @@ func (o *RunObs) PipelineMetrics() PipelineMetrics {
 		PairsBefore:   r.Gauge("surveyor_pairs_before_filter", "(type, property) pairs before the rho filter"),
 		Groups:        r.Gauge("surveyor_groups_modelled", "(type, property) groups modelled after the rho filter"),
 		Opinions:      r.Counter("surveyor_opinions_total", "entity-property opinions classified"),
+		QuarantinedDocs: r.Counter(MetricQuarantinedDocs,
+			"documents quarantined by the per-document panic boundary"),
+		SkippedLines: r.Counter(MetricSkippedLines,
+			"corpus lines skipped by lenient streaming ingestion"),
 		EMIterations: r.Histogram("surveyor_em_iterations",
 			"EM iterations to convergence per modelled group", defaultEMIterBounds),
 		DocSentences: r.Histogram("surveyor_doc_sentences",

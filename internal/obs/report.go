@@ -25,6 +25,15 @@ type Report struct {
 	Groups            int   `json:"groups_modelled"`
 	Opinions          int64 `json:"opinions"`
 
+	// Fault-boundary outcome: quarantined documents, lenient-mode skipped
+	// corpus lines, and whether the run was cut short (SIGINT, stream
+	// error) — in which case the statistics above describe the committed
+	// partial result.
+	QuarantinedDocs int64  `json:"quarantined_docs,omitempty"`
+	SkippedLines    int64  `json:"skipped_lines,omitempty"`
+	Partial         bool   `json:"partial,omitempty"`
+	PartialCause    string `json:"partial_cause,omitempty"`
+
 	// Per-phase wall times, milliseconds.
 	TimingsMillis map[string]int64 `json:"timings_ms"`
 

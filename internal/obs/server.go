@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -65,6 +66,20 @@ func Handler(o *RunObs) http.Handler {
 		enc.Encode(rec.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Degraded is still HTTP 200: the process is serving, but the fault
+		// boundary has been absorbing damage (quarantined documents or
+		// skipped corpus lines) that an operator should look at.
+		var quarantined, skipped int64
+		if o != nil && o.Metrics != nil {
+			quarantined = o.Metrics.Counter(MetricQuarantinedDocs,
+				"documents quarantined by the per-document panic boundary").Value()
+			skipped = o.Metrics.Counter(MetricSkippedLines,
+				"corpus lines skipped by lenient streaming ingestion").Value()
+		}
+		if quarantined > 0 || skipped > 0 {
+			fmt.Fprintf(w, "degraded quarantined_docs=%d skipped_lines=%d\n", quarantined, skipped)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/debug/vars", expvarHandlerFor(o))
@@ -131,10 +146,20 @@ func StartDebugServer(addr string, o *RunObs) (*DebugServer, error) {
 	return ds, nil
 }
 
-// Close shuts the server down.
+// shutdownTimeout bounds how long Close waits for in-flight scrapes.
+const shutdownTimeout = 2 * time.Second
+
+// Close shuts the server down gracefully, letting in-flight scrapes (a
+// /metrics poll racing process exit) finish within a short timeout before
+// falling back to a hard close.
 func (s *DebugServer) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

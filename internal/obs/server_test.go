@@ -149,6 +149,61 @@ func TestStartDebugServer(t *testing.T) {
 	}
 }
 
+func TestHealthzDegraded(t *testing.T) {
+	o := populatedRunObs()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	if body, _ := get(t, srv, "/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy run: /healthz = %q", body)
+	}
+	o.PipelineMetrics().QuarantinedDocs.Add(3)
+	body, resp := get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded /healthz status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "quarantined_docs=3") {
+		t.Errorf("/healthz = %q, want degraded with quarantine count", body)
+	}
+	o.PipelineMetrics().SkippedLines.Add(7)
+	if body, _ := get(t, srv, "/healthz"); !strings.Contains(body, "skipped_lines=7") {
+		t.Errorf("/healthz = %q, want skipped-line count", body)
+	}
+}
+
+// TestCloseGraceful asserts Close lets an in-flight scrape finish instead
+// of dropping the connection: a pprof CPU profile held open across Close
+// must still complete with a full response.
+func TestCloseGraceful(t *testing.T) {
+	ds, err := StartDebugServer("127.0.0.1:0", populatedRunObs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ds.Addr + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, err: err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the scrape reach the handler
+	if err := ds.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	r := <-done
+	if r.err != nil || r.status != http.StatusOK {
+		t.Errorf("in-flight scrape dropped by Close: status %d, err %v", r.status, r.err)
+	}
+}
+
 func TestHandlerWithNilRunObs(t *testing.T) {
 	srv := httptest.NewServer(Handler(nil))
 	defer srv.Close()

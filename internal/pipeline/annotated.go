@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -42,12 +43,57 @@ func Annotate(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, workers
 	return out
 }
 
+// annotatedProcessor is the pre-annotated counterpart of docProcessor:
+// extraction only, with the same commit-after-success buffering under the
+// quarantine boundary.
+type annotatedProcessor struct {
+	extractor *extract.Extractor
+	stmts     []extract.Statement
+
+	buf       []extract.Statement
+	sentences int64
+}
+
+// process extracts one annotated document inside the quarantine boundary.
+func (p *annotatedProcessor) process(doc *annotate.Document) (reason string, ok bool) {
+	p.buf = p.buf[:0]
+	p.sentences = 0
+	ok = true
+	defer func() {
+		if r := recover(); r != nil {
+			reason, ok = panicReason(r), false
+		}
+	}()
+	for si := range doc.Sentence {
+		s := &doc.Sentence[si]
+		p.sentences++
+		if s.Tree == nil || len(s.Mentions) == 0 {
+			continue
+		}
+		p.stmts = p.extractor.ExtractInto(p.stmts[:0], s.Tree, s.Mentions)
+		p.buf = append(p.buf, p.stmts...)
+	}
+	return "", true
+}
+
 // RunAnnotated executes extraction, grouping, and per-group EM over an
 // already-annotated corpus. Results are identical to Run over the raw
-// documents with the same configuration.
+// documents with the same configuration. Delegates to RunAnnotatedContext
+// with a background context.
 func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
+	res, _ := RunAnnotatedContext(context.Background(), docs, base, lex, cfg)
+	return res
+}
+
+// RunAnnotatedContext is RunAnnotated with document-granular cancellation
+// and panic quarantine, sharing the semantics of RunContext: a cancelled
+// run models its committed evidence and returns the partial result inside
+// a *PartialError; a panicking document is quarantined and the run
+// continues. Config.Fault is ignored on this path — the hook takes raw
+// documents, which an annotated corpus no longer has.
+func RunAnnotatedContext(ctx context.Context, docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Documents: len(docs)}
+	res := &Result{}
 	o := cfg.Obs
 	workers := workerCount(cfg.Workers, len(docs))
 	o.StartRun(len(docs), workers)
@@ -58,6 +104,7 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 	store := evidence.NewStore()
 	extractor := extract.NewVersion(lex, cfg.Version)
 	var sentences atomic.Int64
+	var ql quarantineLog
 
 	var wg sync.WaitGroup
 	var next atomic.Int64
@@ -68,29 +115,28 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 			wo := o.Worker(w)
 			local := int64(0)
 			acc := evidence.NewLocal()
-			var stmts []extract.Statement
+			proc := &annotatedProcessor{extractor: extractor}
 			for {
+				if ctx.Err() != nil {
+					break
+				}
 				di := int(next.Add(1)) - 1
 				if di >= len(docs) {
 					break
 				}
 				wo.DocStart()
-				docSents, docStmts := int64(0), int64(0)
-				for si := range docs[di].Sentence {
-					s := &docs[di].Sentence[si]
-					local++
-					docSents++
-					if s.Tree == nil || len(s.Mentions) == 0 {
-						continue
-					}
-					stmts = extractor.ExtractInto(stmts[:0], s.Tree, s.Mentions)
-					for _, st := range stmts {
-						acc.Add(st)
-					}
-					docStmts += int64(len(stmts))
+				if reason, ok := proc.process(&docs[di]); !ok {
+					ql.add(di, reason)
+					pm.QuarantinedDocs.Inc()
+					wo.DocEnd(di, 0, 0)
+					continue
 				}
-				wo.DocEnd(di, docSents, docStmts)
-				pm.DocSentences.Observe(float64(docSents))
+				for _, st := range proc.buf {
+					acc.Add(st)
+				}
+				local += proc.sentences
+				wo.DocEnd(di, proc.sentences, int64(len(proc.buf)))
+				pm.DocSentences.Observe(float64(proc.sentences))
 			}
 			acc.FlushTo(store)
 			sentences.Add(local)
@@ -98,6 +144,12 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 		}(w)
 	}
 	wg.Wait()
+	consumed := int(next.Load())
+	if consumed > len(docs) {
+		consumed = len(docs)
+	}
+	res.Quarantined = ql.sorted()
+	res.Documents = consumed - len(res.Quarantined)
 	res.Store = store
 	res.Sentences = sentences.Load()
 	res.TotalStatements = store.TotalStatements()
@@ -110,7 +162,10 @@ func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, c
 	finishRun(res, base, cfg)
 	res.Timings.Total = total.End()
 	o.EndRun()
-	return res
+	if consumed < len(docs) {
+		return res, &PartialError{Result: res, Processed: res.Documents, Consumed: consumed, Err: ctx.Err()}
+	}
+	return res, nil
 }
 
 // RunFromStore executes grouping and modelling over pre-aggregated
@@ -132,7 +187,10 @@ func RunFromStore(store *evidence.Store, base *kb.KB, cfg Config) *Result {
 }
 
 // finishRun performs the grouping and EM phases shared by Run and
-// RunAnnotated, then builds the lookup index.
+// RunAnnotated, then builds the lookup index. It always runs to
+// completion, even for a cancelled run: the committed evidence is already
+// in memory and bounded, and modelling it is what makes a partial result
+// exactly the clean result over its committed documents.
 func finishRun(res *Result, base *kb.KB, cfg Config) {
 	o := cfg.Obs
 	pm := o.PipelineMetrics()

@@ -6,6 +6,15 @@
 // no evidence at all. Per-phase timings are recorded for the Section-7.1
 // analysis.
 //
+// Fault tolerance: every entry point has a context-aware variant
+// (RunContext, RunAnnotatedContext, RunStream) that honours cancellation
+// at document granularity and returns a typed *PartialError carrying the
+// consistent partial result. Each worker wraps per-document processing in
+// a recover boundary: a panicking document is quarantined — recorded on
+// Result.Quarantined — and the run continues, with results bit-identical
+// to a clean run over the corpus minus the quarantined documents (see
+// fault.go for the contract).
+//
 // Observability: a Config.Obs sink receives write-only telemetry (metrics,
 // phase/worker spans, EM convergence trajectories, live progress). The
 // pipeline never reads obs state — timestamps flow through the obs-owned
@@ -16,6 +25,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,6 +59,16 @@ type Config struct {
 	// at the cost of one branch per record call; results are bit-identical
 	// either way.
 	Obs *obs.RunObs
+	// Fault, when non-nil, is called for every raw document just before it
+	// is processed, inside the worker's quarantine boundary — a panic in
+	// the hook quarantines the document exactly like a panic in the NLP
+	// stack. It is the deterministic chaos hook of the testkit fault-
+	// injection suite (select documents by content hash, never by
+	// schedule); it must not mutate the document. Ignored by the
+	// pre-annotated entry points.
+	Fault func(index int, doc *corpus.Document)
+	// StreamBuffer bounds the RunStream feed channel (0 means 4×Workers).
+	StreamBuffer int
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -121,10 +141,17 @@ type Result struct {
 	// PairsBeforeFilter counts distinct (type, property) pairs before the
 	// ρ filter (the "7 million" statistic); len(Groups) is the after.
 	PairsBeforeFilter int
-	// Sentences and Documents count the parsed input.
+	// Sentences and Documents count the committed input: documents
+	// quarantined by the fault boundary contribute to neither.
 	Sentences int64
 	Documents int
-	Timings   Timings
+	// Quarantined lists the documents the panic boundary removed from the
+	// run, sorted by document index. Empty on a healthy run.
+	Quarantined []Quarantined
+	// SkippedLines counts corpus lines dropped by a lenient streaming read
+	// (RunStream only; always zero for in-memory runs).
+	SkippedLines int64
+	Timings      Timings
 
 	index      map[opinionKey]*EntityOpinion
 	groupIndex map[evidence.GroupKey]*GroupResult
@@ -151,10 +178,105 @@ func (r *Result) Group(typ, property string) (*GroupResult, bool) {
 	return g, ok
 }
 
-// Run executes the full pipeline over the documents.
+// nlpComponents is the read-only NLP front end shared by every extraction
+// worker: the components are safe for concurrent use, so they are built
+// once per run instead of once per worker.
+type nlpComponents struct {
+	posTagger *pos.Tagger
+	parser    *depparse.Parser
+	entTagger *tagger.Tagger
+	extractor *extract.Extractor
+}
+
+func newNLPComponents(lex *lexicon.Lexicon, base *kb.KB, v extract.Version) *nlpComponents {
+	return &nlpComponents{
+		posTagger: pos.New(lex),
+		parser:    depparse.New(lex),
+		entTagger: tagger.New(base, lex),
+		extractor: extract.NewVersion(lex, v),
+	}
+}
+
+// docProcessor owns one extraction worker's NLP scratch state and runs the
+// per-document fault boundary. All of a document's output lands in the
+// processor (statement buffer, sentence count) and is committed to shared
+// state by the caller only when process reports success, so a quarantined
+// document leaves no trace.
+type docProcessor struct {
+	*nlpComponents
+
+	sents    []token.Sentence
+	toks     []token.Token
+	tagged   []pos.Tagged
+	mentions []tagger.Mention
+	stmts    []extract.Statement
+	psc      depparse.Scratch
+	tsc      tagger.Scratch
+
+	// buf and sentences hold the current document's output until commit.
+	buf       []extract.Statement
+	sentences int64
+}
+
+// process runs the NLP front end over one document inside the quarantine
+// boundary. ok=false reports a panic, with the rendered reason; the
+// partially filled buffer is discarded by the next call.
+func (p *docProcessor) process(index int, doc *corpus.Document, fault func(int, *corpus.Document)) (reason string, ok bool) {
+	p.buf = p.buf[:0]
+	p.sentences = 0
+	ok = true
+	defer func() {
+		if r := recover(); r != nil {
+			reason, ok = panicReason(r), false
+		}
+	}()
+	if fault != nil {
+		fault(index, doc)
+	}
+	// The sentence loop works on locals so slice headers live in registers
+	// and stack slots, as they did before the processor struct existed; the
+	// headers are written back only on success. A panic loses at most the
+	// capacity grown during the failed document — the next call re-slices
+	// from the stale headers — and the caller ignores p.buf/p.sentences for
+	// a quarantined document.
+	sents, toks := token.SplitSentencesInto(p.sents[:0], p.toks[:0], doc.Text)
+	tagged, mentions, stmts, buf := p.tagged, p.mentions, p.stmts, p.buf
+	sentences := int64(0)
+	for _, sent := range sents {
+		sentences++
+		tagged = p.posTagger.TagInto(tagged[:0], sent)
+		mentions = p.entTagger.TagInto(mentions[:0], &p.tsc, tagged)
+		if len(mentions) == 0 {
+			continue // no entity, nothing to extract
+		}
+		tree := p.parser.ParseInto(&p.psc, tagged)
+		stmts = p.extractor.ExtractInto(stmts[:0], tree, mentions)
+		buf = append(buf, stmts...)
+	}
+	p.sents, p.toks = sents, toks
+	p.tagged, p.mentions, p.stmts = tagged, mentions, stmts
+	p.buf, p.sentences = buf, sentences
+	return "", true
+}
+
+// Run executes the full pipeline over the documents. It never stops early:
+// cancellation is the business of RunContext, to which Run delegates with
+// a background context.
 func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
+	res, _ := RunContext(context.Background(), docs, base, lex, cfg)
+	return res
+}
+
+// RunContext executes the full pipeline over the documents, honouring ctx
+// at document granularity: once ctx is cancelled, workers stop claiming
+// documents (a claimed document is always finished — committed or
+// quarantined). A cancelled run still groups and models the evidence it
+// committed, and returns that partial result both directly and inside a
+// *PartialError. Panicking documents are quarantined, not fatal; see
+// Result.Quarantined and the contract in fault.go.
+func RunContext(ctx context.Context, docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Documents: len(docs)}
+	res := &Result{}
 	o := cfg.Obs
 	workers := workerCount(cfg.Workers, len(docs))
 	o.StartRun(len(docs), workers)
@@ -164,11 +286,9 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	span := o.Phase("extract")
 	pm := o.PipelineMetrics()
 	store := evidence.NewStore()
+	nlp := newNLPComponents(lex, base, cfg.Version)
 	var sentences atomic.Int64
-	posTagger := pos.New(lex)
-	parser := depparse.New(lex)
-	entTagger := tagger.New(base, lex)
-	extractor := extract.NewVersion(lex, cfg.Version)
+	var ql quarantineLog
 
 	// Documents are fed through a shared atomic index rather than static
 	// shards: document lengths are heavily skewed (the long-tail shapes of
@@ -176,11 +296,12 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	// one. The evidence store is commutative, so the schedule cannot change
 	// the result — the testkit differential suite proves it.
 	//
-	// Each worker owns one set of NLP scratch buffers (reused across every
-	// sentence it processes) and a private evidence accumulator folded into
-	// the shared store once at the end. Telemetry goes through a worker-
-	// owned obs handle (per-worker progress slot, locally buffered spans),
-	// so the hot loop never contends on a shared observability structure.
+	// Each worker owns one docProcessor (NLP scratch buffers reused across
+	// every sentence, plus the per-document fault boundary) and a private
+	// evidence accumulator folded into the shared store once at the end.
+	// Telemetry goes through a worker-owned obs handle (per-worker progress
+	// slot, locally buffered spans), so the hot loop never contends on a
+	// shared observability structure.
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
@@ -190,40 +311,28 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 			wo := o.Worker(w)
 			local := int64(0)
 			acc := evidence.NewLocal()
-			var (
-				sents    []token.Sentence
-				toks     []token.Token
-				tagged   []pos.Tagged
-				mentions []tagger.Mention
-				stmts    []extract.Statement
-				psc      depparse.Scratch
-				tsc      tagger.Scratch
-			)
+			proc := &docProcessor{nlpComponents: nlp}
 			for {
+				if ctx.Err() != nil {
+					break
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) {
 					break
 				}
 				wo.DocStart()
-				docSents, docStmts := int64(0), int64(0)
-				sents, toks = token.SplitSentencesInto(sents[:0], toks[:0], docs[i].Text)
-				for _, sent := range sents {
-					local++
-					docSents++
-					tagged = posTagger.TagInto(tagged[:0], sent)
-					mentions = entTagger.TagInto(mentions[:0], &tsc, tagged)
-					if len(mentions) == 0 {
-						continue // no entity, nothing to extract
-					}
-					tree := parser.ParseInto(&psc, tagged)
-					stmts = extractor.ExtractInto(stmts[:0], tree, mentions)
-					for _, st := range stmts {
-						acc.Add(st)
-					}
-					docStmts += int64(len(stmts))
+				if reason, ok := proc.process(i, &docs[i], cfg.Fault); !ok {
+					ql.add(i, reason)
+					pm.QuarantinedDocs.Inc()
+					wo.DocEnd(i, 0, 0)
+					continue
 				}
-				wo.DocEnd(i, docSents, docStmts)
-				pm.DocSentences.Observe(float64(docSents))
+				for _, st := range proc.buf {
+					acc.Add(st)
+				}
+				local += proc.sentences
+				wo.DocEnd(i, proc.sentences, int64(len(proc.buf)))
+				pm.DocSentences.Observe(float64(proc.sentences))
 			}
 			acc.FlushTo(store)
 			sentences.Add(local)
@@ -231,6 +340,16 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 		}(w)
 	}
 	wg.Wait()
+
+	// Every index below consumed was claimed by a worker, and a claimed
+	// document is always finished, so the processed prefix is contiguous:
+	// committed documents are exactly [0, consumed) minus the quarantine.
+	consumed := int(next.Load())
+	if consumed > len(docs) {
+		consumed = len(docs)
+	}
+	res.Quarantined = ql.sorted()
+	res.Documents = consumed - len(res.Quarantined)
 	res.Store = store
 	res.Sentences = sentences.Load()
 	res.TotalStatements = store.TotalStatements()
@@ -241,9 +360,16 @@ func Run(docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) 
 	pm.Statements.Add(res.TotalStatements)
 
 	// Phases 2-3 (grouping, EM) and the lookup index are shared with
-	// RunAnnotated.
+	// RunAnnotated. They run to completion even when ctx was cancelled:
+	// the committed evidence is already in memory and bounded, and
+	// modelling it is what makes the partial result — and the -report a
+	// SIGINT-ed cmd/surveyor flushes on the way down — exactly the clean
+	// result over the committed subset.
 	finishRun(res, base, cfg)
 	res.Timings.Total = total.End()
 	o.EndRun()
-	return res
+	if consumed < len(docs) {
+		return res, &PartialError{Result: res, Processed: res.Documents, Consumed: consumed, Err: ctx.Err()}
+	}
+	return res, nil
 }

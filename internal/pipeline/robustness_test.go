@@ -1,7 +1,10 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/corpus"
@@ -72,6 +75,99 @@ func TestPipelineMixedGarbageAndSignal(t *testing.T) {
 	for i := range gc.Entities {
 		if gc.Entities[i].Opinion != gd.Entities[i].Opinion {
 			t.Fatalf("garbage changed the opinion of entity %d", i)
+		}
+	}
+}
+
+// TestPipelineQuarantinesPanickingDocs asserts the per-document panic
+// boundary: faulted documents land in Result.Quarantined in index order
+// with the panic value as reason, and everything else is processed as if
+// they were never in the corpus.
+func TestPipelineQuarantinesPanickingDocs(t *testing.T) {
+	base, lex, snap := world(t, 0.3)
+	docs := snap.Documents
+	cfg := Config{Rho: 20, Workers: 8}
+	cfg.Fault = func(i int, _ *corpus.Document) {
+		if i%17 == 0 {
+			panic("boom")
+		}
+	}
+	res, err := RunContext(context.Background(), docs, base, lex, cfg)
+	if err != nil {
+		t.Fatalf("quarantine must not fail the run: %v", err)
+	}
+	want := (len(docs) + 16) / 17
+	if len(res.Quarantined) != want {
+		t.Fatalf("quarantined %d documents, want %d", len(res.Quarantined), want)
+	}
+	for qi, q := range res.Quarantined {
+		if q.Doc != qi*17 {
+			t.Errorf("quarantine %d is doc %d, want %d", qi, q.Doc, qi*17)
+		}
+		if q.Reason != "panic: boom" {
+			t.Errorf("quarantine reason = %q", q.Reason)
+		}
+	}
+	if res.Documents != len(docs)-want {
+		t.Errorf("Documents = %d, want %d", res.Documents, len(docs)-want)
+	}
+
+	kept := make([]corpus.Document, 0, len(docs))
+	for i := range docs {
+		if i%17 != 0 {
+			kept = append(kept, docs[i])
+		}
+	}
+	clean := Run(kept, base, lex, Config{Rho: 20, Workers: 1})
+	if res.TotalStatements != clean.TotalStatements || res.Sentences != clean.Sentences {
+		t.Errorf("faulted run: %d statements / %d sentences, clean run over survivors: %d / %d",
+			res.TotalStatements, res.Sentences, clean.TotalStatements, clean.Sentences)
+	}
+}
+
+// TestPipelineCancelNoDoubleCount cancels mid-run and asserts the partial
+// result counted every committed statement exactly once: its evidence
+// store is bit-identical to a fresh single-threaded run over the consumed
+// prefix.
+func TestPipelineCancelNoDoubleCount(t *testing.T) {
+	base, lex, snap := world(t, 0.5)
+	docs := snap.Documents
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	cfg := Config{Rho: 20, Workers: 4}
+	cfg.Fault = func(int, *corpus.Document) {
+		if seen.Add(1) == int64(len(docs)/2) {
+			cancel()
+		}
+	}
+	res, err := RunContext(ctx, docs, base, lex, cfg)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause = %v, want context.Canceled", pe.Err)
+	}
+	if pe.Consumed >= len(docs) || pe.Consumed < len(docs)/2 {
+		t.Fatalf("consumed %d of %d — cancellation fired too early or not at all", pe.Consumed, len(docs))
+	}
+	if pe.Processed != res.Documents || res.Documents != pe.Consumed {
+		t.Fatalf("processed %d, consumed %d, Documents %d — inconsistent", pe.Processed, pe.Consumed, res.Documents)
+	}
+
+	replay := Run(docs[:pe.Consumed], base, lex, Config{Rho: 20, Workers: 1})
+	if res.TotalStatements != replay.TotalStatements {
+		t.Fatalf("partial run counted %d statements, replay of consumed prefix %d",
+			res.TotalStatements, replay.TotalStatements)
+	}
+	a, b := res.Store.Snapshot(), replay.Store.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("partial store has %d keys, replay %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("store entry %d: %+v vs %+v — a statement was double- or under-counted", i, a[i], b[i])
 		}
 	}
 }

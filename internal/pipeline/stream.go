@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+)
+
+// streamItem carries one document and its zero-based stream sequence
+// number from the feeder to a worker.
+type streamItem struct {
+	seq int
+	doc corpus.Document
+}
+
+// RunStream executes the full pipeline over documents drawn from a
+// corpus.Iterator, so corpora larger than RAM can run: at most
+// Config.StreamBuffer documents (default 4×Workers) are in flight between
+// the reader and the workers, and nothing else scales with corpus size.
+//
+// Semantics match RunContext with stream sequence numbers standing in for
+// document indices: panicking documents are quarantined (Result.Quarantined
+// records their sequence numbers), cancellation stops the feed at document
+// granularity, and a run cut short — by ctx or by a fatal iterator error —
+// still models its committed evidence and returns the partial result inside
+// a *PartialError. Lines a lenient iterator skipped are surfaced on
+// Result.SkippedLines. Every document the feeder hands out is processed to
+// completion, so the consumed set is the contiguous prefix [0, Consumed) of
+// the stream and the quarantine-determinism contract of fault.go carries
+// over unchanged.
+func RunStream(ctx context.Context, it *corpus.Iterator, base *kb.KB, lex *lexicon.Lexicon, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	o := cfg.Obs
+	workers := cfg.Workers
+	o.StartRun(0, workers) // total unknown up front
+	total := o.Phase("run")
+
+	span := o.Phase("extract")
+	pm := o.PipelineMetrics()
+	store := evidence.NewStore()
+	nlp := newNLPComponents(lex, base, cfg.Version)
+	var sentences atomic.Int64
+	var ql quarantineLog
+
+	buffer := cfg.StreamBuffer
+	if buffer <= 0 {
+		buffer = 4 * workers
+	}
+	ch := make(chan streamItem, buffer)
+
+	// The feeder is the only goroutine touching the iterator. It stops on
+	// cancellation or a fatal read error and then closes the channel; both
+	// outcome flags are written before the close, and read only after the
+	// workers — whose range loops end at the close — have been joined.
+	var sent int
+	var readErr error
+	var truncated bool
+	go func() {
+		defer close(ch)
+		for it.Next() {
+			select {
+			case ch <- streamItem{seq: sent, doc: it.Doc()}:
+				sent++
+			case <-ctx.Done():
+				truncated = true
+				return
+			}
+		}
+		if err := it.Err(); err != nil {
+			readErr = err
+			truncated = true
+		}
+	}()
+
+	// Workers never check ctx themselves: every document the feeder handed
+	// out is processed to completion (committed or quarantined), keeping
+	// the consumed prefix contiguous. Cancellation latency is bounded by
+	// the channel capacity.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wo := o.Worker(w)
+			local := int64(0)
+			acc := evidence.NewLocal()
+			proc := &docProcessor{nlpComponents: nlp}
+			for item := range ch {
+				wo.DocStart()
+				if reason, ok := proc.process(item.seq, &item.doc, cfg.Fault); !ok {
+					ql.add(item.seq, reason)
+					pm.QuarantinedDocs.Inc()
+					wo.DocEnd(item.seq, 0, 0)
+					continue
+				}
+				for _, st := range proc.buf {
+					acc.Add(st)
+				}
+				local += proc.sentences
+				wo.DocEnd(item.seq, proc.sentences, int64(len(proc.buf)))
+				pm.DocSentences.Observe(float64(proc.sentences))
+			}
+			acc.FlushTo(store)
+			sentences.Add(local)
+			wo.Close("extract")
+		}(w)
+	}
+	wg.Wait()
+
+	res.Quarantined = ql.sorted()
+	res.Documents = sent - len(res.Quarantined)
+	res.Store = store
+	res.Sentences = sentences.Load()
+	res.TotalStatements = store.TotalStatements()
+	res.DistinctPairs = store.Len()
+	res.SkippedLines = it.Stats().Skipped()
+	res.Timings.Extraction = span.End()
+	pm.Documents.Add(int64(res.Documents))
+	pm.Sentences.Add(res.Sentences)
+	pm.Statements.Add(res.TotalStatements)
+	pm.SkippedLines.Add(res.SkippedLines)
+
+	finishRun(res, base, cfg)
+	res.Timings.Total = total.End()
+	o.EndRun()
+	if truncated {
+		cause := readErr
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		return res, &PartialError{Result: res, Processed: res.Documents, Consumed: sent, Err: cause}
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package testkit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/corpus"
+)
+
+// Deterministic fault injection for the chaos suite. Faults select their
+// victims by seeded content hash — never by index, schedule, or time — so
+// every worker count and interleaving quarantines exactly the same
+// document set, which is what lets the differential tests assert
+// bit-identical agreement between a faulted run and a clean run over the
+// survivors.
+
+// ErrInjected is the failure FailingReader reports once its byte budget is
+// spent.
+var ErrInjected = errors.New("testkit: injected read failure")
+
+// chaosHash folds the seed and the document text through FNV-1a.
+func chaosHash(seed uint64, text string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	io.WriteString(h, text)
+	return h.Sum64()
+}
+
+// Selected reports whether the seeded chaos selector fires on doc. The
+// decision depends only on (seed, doc.Text); rate is the approximate
+// fraction of documents selected.
+func Selected(seed uint64, rate float64, doc *corpus.Document) bool {
+	return chaosHash(seed, doc.Text)%10000 < uint64(rate*10000)
+}
+
+// PanicFault returns a pipeline Config.Fault hook that panics on every
+// document the seeded selector picks. The panic value is fixed per seed,
+// so quarantine reasons are schedule-independent too.
+func PanicFault(seed uint64, rate float64) func(int, *corpus.Document) {
+	msg := fmt.Sprintf("testkit: injected fault (seed %d)", seed)
+	return func(_ int, doc *corpus.Document) {
+		if Selected(seed, rate, doc) {
+			panic(msg)
+		}
+	}
+}
+
+// Partition splits a corpus by the seeded selector into the surviving
+// documents and the sorted indices of the selected fault set — the "corpus
+// minus D" side of the quarantine-determinism contract.
+func Partition(docs []corpus.Document, seed uint64, rate float64) (kept []corpus.Document, faulted []int) {
+	for i := range docs {
+		if Selected(seed, rate, &docs[i]) {
+			faulted = append(faulted, i)
+		} else {
+			kept = append(kept, docs[i])
+		}
+	}
+	return kept, faulted
+}
+
+// FailingReader passes through the first N bytes of R, then returns
+// ErrInjected — a corpus read dying mid-stream.
+type FailingReader struct {
+	R io.Reader
+	N int64
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.N <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > f.N {
+		p = p[:f.N]
+	}
+	n, err := f.R.Read(p)
+	f.N -= int64(n)
+	if err == nil && f.N <= 0 {
+		err = ErrInjected
+	}
+	return n, err
+}
+
+// ShortReader delivers at most N bytes per Read call, forcing downstream
+// buffering code through its fragmentation paths.
+type ShortReader struct {
+	R io.Reader
+	N int
+}
+
+// Read implements io.Reader.
+func (s *ShortReader) Read(p []byte) (int, error) {
+	if s.N > 0 && len(p) > s.N {
+		p = p[:s.N]
+	}
+	return s.R.Read(p)
+}

@@ -1,0 +1,359 @@
+package testkit
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/corpus"
+	"repro/internal/nlp/depparse"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/pipeline"
+)
+
+// chaosSeed drives the fault selector; chaosRate quarantines roughly a
+// fifth of the corpus, enough to shift every downstream statistic.
+const (
+	chaosSeed = 99
+	chaosRate = 0.2
+)
+
+// stripQuarantine returns a shallow copy of res with the quarantine
+// records cleared, so DiffResults can compare a faulted run against a
+// clean run that never had any.
+func stripQuarantine(res *pipeline.Result) *pipeline.Result {
+	cp := *res
+	cp.Quarantined = nil
+	return &cp
+}
+
+// TestQuarantineDeterminism is the tentpole differential proof: a run with
+// faults injected into the content-selected document set D must be
+// bit-identical — evidence counts, groups, EM traces, opinions — to a
+// clean run over the corpus with D removed, for every worker count.
+func TestQuarantineDeterminism(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	kept, faulted := Partition(docs, chaosSeed, chaosRate)
+	if len(faulted) == 0 || len(faulted) == len(docs) {
+		t.Fatalf("selector picked %d of %d documents — useless fixture", len(faulted), len(docs))
+	}
+	cfg := pipeline.Config{Rho: 10, Workers: 4}
+	clean := pipeline.Run(kept, w.KB, w.Lex, cfg)
+
+	for _, workers := range []int{1, 2, 8} {
+		cfg := cfg
+		cfg.Workers = workers
+		cfg.Fault = PanicFault(chaosSeed, chaosRate)
+		res, err := pipeline.RunContext(context.Background(), docs, w.KB, w.Lex, cfg)
+		if err != nil {
+			t.Fatalf("workers %d: fault injection must not fail the run: %v", workers, err)
+		}
+		if len(res.Quarantined) != len(faulted) {
+			t.Fatalf("workers %d: quarantined %d documents, selector picked %d",
+				workers, len(res.Quarantined), len(faulted))
+		}
+		for i, q := range res.Quarantined {
+			if q.Doc != faulted[i] {
+				t.Errorf("workers %d: quarantine %d is doc %d, want %d", workers, i, q.Doc, faulted[i])
+			}
+			if !strings.Contains(q.Reason, "injected fault") {
+				t.Errorf("workers %d: quarantine reason %q does not name the fault", workers, q.Reason)
+			}
+		}
+		if diffs := DiffResults(stripQuarantine(res), clean); len(diffs) > 0 {
+			t.Errorf("workers %d: faulted run diverges from clean run over survivors:\n  %s",
+				workers, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// poisonAnnotated corrupts the first extractable sentence of doc so the
+// extractor panics on it: an adjective whose amod head points far out of
+// range sends FirstChildWith indexing past the children table.
+func poisonAnnotated(doc *annotate.Document) bool {
+	for si := range doc.Sentence {
+		s := &doc.Sentence[si]
+		if s.Tree != nil && len(s.Mentions) > 0 && len(s.Tree.Nodes) > 0 {
+			n := &s.Tree.Nodes[0]
+			n.Tag = lexicon.Adj
+			n.Rel = depparse.Amod
+			n.Head = 1 << 30
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuarantineAnnotatedPath asserts the panic boundary of the
+// pre-annotated entry point: documents whose annotations are corrupted
+// enough to panic the extractor are quarantined, and the rest of the run
+// matches a clean run without them.
+func TestQuarantineAnnotatedPath(t *testing.T) {
+	w := NewWorld(2, diffScale)
+	cfg := pipeline.Config{Rho: 10, Workers: 4}
+	annotated := pipeline.Annotate(w.Docs(), w.KB, w.Lex, 4)
+
+	poisoned := make([]int, 0, 2)
+	for _, di := range []int{len(annotated) / 3, 2 * len(annotated) / 3} {
+		if poisonAnnotated(&annotated[di]) {
+			poisoned = append(poisoned, di)
+		}
+	}
+	if len(poisoned) == 0 {
+		t.Fatal("no sentence with a tree and mentions to poison — fixture too small")
+	}
+
+	res, err := pipeline.RunAnnotatedContext(context.Background(), annotated, w.KB, w.Lex, cfg)
+	if err != nil {
+		t.Fatalf("poisoned run must not fail: %v", err)
+	}
+	if len(res.Quarantined) != len(poisoned) {
+		t.Fatalf("quarantined %v, poisoned docs %v", res.Quarantined, poisoned)
+	}
+	for i, q := range res.Quarantined {
+		if q.Doc != poisoned[i] {
+			t.Errorf("quarantine %d is doc %d, want %d", i, q.Doc, poisoned[i])
+		}
+	}
+
+	survivors := make([]int, 0, len(annotated))
+	for di := range annotated {
+		keep := true
+		for _, p := range poisoned {
+			if di == p {
+				keep = false
+			}
+		}
+		if keep {
+			survivors = append(survivors, di)
+		}
+	}
+	keptDocs := make([]corpus.Document, 0, len(survivors))
+	for _, di := range survivors {
+		keptDocs = append(keptDocs, w.Docs()[di])
+	}
+	clean := pipeline.Run(keptDocs, w.KB, w.Lex, cfg)
+	if diffs := DiffResults(stripQuarantine(res), clean); len(diffs) > 0 {
+		t.Errorf("poisoned annotated run diverges from clean run over survivors:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (plus slack for runtime helpers), failing the test if it never
+// does — the leak detector for the cancellation paths.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	// ~5s budget as a poll count, not a wall-clock deadline (detrand
+	// forbids time.Now in this package, tests included).
+	for tries := 0; tries < 500; tries++ {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestCancellationConsistency cancels mid-run from inside the pipeline
+// (via the fault hook, after a fixed number of documents) and asserts the
+// partial result is exactly the clean result over the consumed prefix
+// minus nothing — every claimed document committed exactly once — and
+// that no goroutines leak.
+func TestCancellationConsistency(t *testing.T) {
+	w := NewWorld(3, diffScale)
+	docs := w.Docs()
+	baseline := runtime.NumGoroutine()
+
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var processed atomic.Int64
+		cfg := pipeline.Config{Rho: 10, Workers: workers}
+		cfg.Fault = func(int, *corpus.Document) {
+			if processed.Add(1) == int64(len(docs)/3) {
+				cancel()
+			}
+		}
+		res, err := pipeline.RunContext(ctx, docs, w.KB, w.Lex, cfg)
+		cancel()
+		waitForGoroutines(t, baseline)
+		var pe *pipeline.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers %d: want *PartialError, got %v", workers, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers %d: cause %v, want context.Canceled", workers, pe.Err)
+		}
+		if pe.Result != res {
+			t.Errorf("workers %d: PartialError.Result is not the returned result", workers)
+		}
+		if pe.Consumed >= len(docs) || pe.Consumed < len(docs)/3 {
+			t.Fatalf("workers %d: consumed %d of %d — cancellation fired too early or not at all",
+				workers, pe.Consumed, len(docs))
+		}
+		if pe.Processed != res.Documents || pe.Processed != pe.Consumed {
+			t.Fatalf("workers %d: processed %d, consumed %d, Documents %d — inconsistent partial counts",
+				workers, pe.Processed, pe.Consumed, res.Documents)
+		}
+		clean := pipeline.Run(docs[:pe.Consumed], w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+		if diffs := DiffResults(res, clean); len(diffs) > 0 {
+			t.Errorf("workers %d: partial result diverges from clean run over consumed prefix:\n  %s",
+				workers, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// corpusJSONL serialises the world's documents the way cmd/corpusgen would.
+func corpusJSONL(t *testing.T, docs []corpus.Document) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := corpus.WriteJSONL(&buf, docs); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamMatchesRun asserts RunStream over a clean JSONL stream is
+// bit-identical to Run over the same documents in memory, for every worker
+// count, including through a byte-at-a-time short reader.
+func TestStreamMatchesRun(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	data := corpusJSONL(t, docs)
+	clean := pipeline.Run(docs, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+
+	for _, workers := range []int{1, 2, 8} {
+		it := corpus.NewIterator(&ShortReader{R: bytes.NewReader(data), N: 4096}, corpus.IteratorConfig{})
+		res, err := pipeline.RunStream(context.Background(), it, w.KB, w.Lex,
+			pipeline.Config{Rho: 10, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: clean stream failed: %v", workers, err)
+		}
+		if res.SkippedLines != 0 {
+			t.Errorf("workers %d: clean stream skipped %d lines", workers, res.SkippedLines)
+		}
+		if diffs := DiffResults(res, clean); len(diffs) > 0 {
+			t.Errorf("workers %d: stream run diverges from in-memory run:\n  %s",
+				workers, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// TestLenientStreamEquivalence interleaves garbage and oversized lines
+// into the JSONL stream and asserts the lenient run skips exactly them and
+// otherwise matches the in-memory run over the valid documents.
+func TestLenientStreamEquivalence(t *testing.T) {
+	w := NewWorld(2, diffScale)
+	docs := w.Docs()
+	clean := pipeline.Run(docs, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+
+	var buf bytes.Buffer
+	garbage := 0
+	oversized := strings.Repeat("x", 96<<10)
+	for i := range docs {
+		if i%7 == 0 {
+			buf.WriteString("{not json}\n")
+			garbage++
+		}
+		if i%13 == 0 {
+			buf.WriteString(oversized + "\n")
+			garbage++
+		}
+		if err := corpus.WriteJSONL(&buf, docs[i:i+1]); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+	}
+	it := corpus.NewIterator(&buf, corpus.IteratorConfig{Lenient: true, MaxLineBytes: 64 << 10})
+	res, err := pipeline.RunStream(context.Background(), it, w.KB, w.Lex,
+		pipeline.Config{Rho: 10, Workers: 8})
+	if err != nil {
+		t.Fatalf("lenient stream failed: %v", err)
+	}
+	if res.SkippedLines != int64(garbage) {
+		t.Errorf("skipped %d lines, injected %d", res.SkippedLines, garbage)
+	}
+	if diffs := DiffResults(res, clean); len(diffs) > 0 {
+		t.Errorf("lenient stream diverges from in-memory run over valid documents:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestStreamReadErrorPartial kills the underlying reader mid-stream and
+// asserts RunStream surfaces the cause in a *PartialError whose result is
+// the clean run over the documents that made it through.
+func TestStreamReadErrorPartial(t *testing.T) {
+	w := NewWorld(3, diffScale)
+	docs := w.Docs()
+	data := corpusJSONL(t, docs)
+	baseline := runtime.NumGoroutine()
+
+	it := corpus.NewIterator(&FailingReader{R: bytes.NewReader(data), N: int64(len(data) / 2)},
+		corpus.IteratorConfig{})
+	res, err := pipeline.RunStream(context.Background(), it, w.KB, w.Lex,
+		pipeline.Config{Rho: 10, Workers: 4})
+	waitForGoroutines(t, baseline)
+	var pe *pipeline.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("cause %v, want ErrInjected", pe.Err)
+	}
+	if pe.Consumed == 0 || pe.Consumed >= len(docs) {
+		t.Fatalf("consumed %d of %d — fault fired at the wrong time", pe.Consumed, len(docs))
+	}
+	if pe.Processed != res.Documents || pe.Processed != pe.Consumed {
+		t.Fatalf("processed %d, consumed %d, Documents %d — inconsistent partial counts",
+			pe.Processed, pe.Consumed, res.Documents)
+	}
+	clean := pipeline.Run(docs[:pe.Consumed], w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if diffs := DiffResults(res, clean); len(diffs) > 0 {
+		t.Errorf("partial stream result diverges from clean run over consumed prefix:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestStreamCancelNoLeak cancels a streaming run mid-flight and asserts
+// the feeder and workers all exit and the partial counts stay consistent.
+func TestStreamCancelNoLeak(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	data := corpusJSONL(t, docs)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed atomic.Int64
+	cfg := pipeline.Config{Rho: 10, Workers: 4, StreamBuffer: 2}
+	cfg.Fault = func(int, *corpus.Document) {
+		if processed.Add(1) == int64(len(docs)/4) {
+			cancel()
+		}
+	}
+	it := corpus.NewIterator(bytes.NewReader(data), corpus.IteratorConfig{})
+	res, err := pipeline.RunStream(ctx, it, w.KB, w.Lex, cfg)
+	cancel()
+	waitForGoroutines(t, baseline)
+	var pe *pipeline.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause %v, want context.Canceled", pe.Err)
+	}
+	if pe.Consumed >= len(docs) || pe.Consumed == 0 {
+		t.Fatalf("consumed %d of %d — cancellation fired too early or not at all", pe.Consumed, len(docs))
+	}
+	clean := pipeline.Run(docs[:pe.Consumed], w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if diffs := DiffResults(res, clean); len(diffs) > 0 {
+		t.Errorf("cancelled stream result diverges from clean run over consumed prefix:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}

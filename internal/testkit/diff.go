@@ -60,9 +60,28 @@ func DiffResults(a, b *pipeline.Result) []string {
 	d.check(a.DistinctPairs == b.DistinctPairs, "DistinctPairs: %d vs %d", a.DistinctPairs, b.DistinctPairs)
 	d.check(a.PairsBeforeFilter == b.PairsBeforeFilter,
 		"PairsBeforeFilter: %d vs %d", a.PairsBeforeFilter, b.PairsBeforeFilter)
+	d.diffQuarantined(a.Quarantined, b.Quarantined)
 	d.diffSnapshots(a.Store.Snapshot(), b.Store.Snapshot())
 	d.diffGroups(a.Groups, b.Groups)
 	return d.out
+}
+
+// diffQuarantined compares the quarantine records, which the determinism
+// contract requires to be schedule-independent (sorted by document, with
+// content-deterministic reasons). SkippedLines is deliberately not
+// compared: the chaos suite diffs lenient-stream runs against in-memory
+// runs of the surviving documents, where the skip counts legitimately
+// differ.
+func (d *differ) diffQuarantined(a, b []pipeline.Quarantined) {
+	if len(a) != len(b) {
+		d.addf("quarantined: %d vs %d", len(a), len(b))
+		return
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			d.addf("quarantined %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
 }
 
 func (d *differ) diffCounts(want map[evidence.Key]evidence.Counts, store *evidence.Store) {

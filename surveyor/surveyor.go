@@ -24,6 +24,8 @@
 package surveyor
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -144,16 +146,42 @@ type Result struct {
 	res *pipeline.Result
 }
 
-// Mine runs the full pipeline over the documents.
-func (s *System) Mine(docs []Document, cfg Config) *Result {
-	if s.dirty {
-		s.kb.RegisterLexicon(s.lex)
-		s.dirty = false
+// PartialError reports a mining run that stopped early — cancelled through
+// its context, or cut short by a corpus read error. Result always carries
+// the consistent partial output: the complete mining result over exactly
+// Documents committed documents.
+type PartialError struct {
+	// Result is the partial result, never nil.
+	Result *Result
+	// Documents counts the fully processed documents.
+	Documents int
+	// Err is the cause (errors.Is sees context.Canceled or the read error
+	// through it).
+	Err error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("surveyor: mining stopped after %d documents: %v", e.Documents, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// wrapPartial converts a pipeline error into the public error surface,
+// attaching the already-wrapped result.
+func wrapPartial(res *Result, err error) error {
+	if err == nil {
+		return nil
 	}
-	internalDocs := make([]corpus.Document, len(docs))
-	for i, d := range docs {
-		internalDocs[i] = corpus.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
+	var pe *pipeline.PartialError
+	if errors.As(err, &pe) {
+		return &PartialError{Result: res, Documents: pe.Processed, Err: pe.Err}
 	}
+	return err
+}
+
+func (s *System) pipelineConfig(cfg Config) pipeline.Config {
 	pcfg := pipeline.Config{
 		Workers: cfg.Workers,
 		Rho:     cfg.Rho,
@@ -164,7 +192,88 @@ func (s *System) Mine(docs []Document, cfg Config) *Result {
 		pcfg.EM = core.DefaultEMConfig()
 		pcfg.EM.MaxIterations = cfg.EMIterations
 	}
-	return &Result{sys: s, res: pipeline.Run(internalDocs, s.kb, s.lex, pcfg)}
+	return pcfg
+}
+
+func (s *System) registerPending() {
+	if s.dirty {
+		s.kb.RegisterLexicon(s.lex)
+		s.dirty = false
+	}
+}
+
+// Mine runs the full pipeline over the documents. It never stops early;
+// use MineContext for cancellation.
+func (s *System) Mine(docs []Document, cfg Config) *Result {
+	res, _ := s.MineContext(context.Background(), docs, cfg)
+	return res
+}
+
+// MineContext is Mine with document-granular cancellation: when ctx fires
+// mid-run, the documents processed so far are still grouped and modelled,
+// and that partial result is returned both directly and inside a
+// *PartialError. Documents whose processing panics are quarantined (see
+// Result.Quarantined) instead of failing the run.
+func (s *System) MineContext(ctx context.Context, docs []Document, cfg Config) (*Result, error) {
+	s.registerPending()
+	internalDocs := make([]corpus.Document, len(docs))
+	for i, d := range docs {
+		internalDocs[i] = corpus.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
+	}
+	pres, err := pipeline.RunContext(ctx, internalDocs, s.kb, s.lex, s.pipelineConfig(cfg))
+	res := &Result{sys: s, res: pres}
+	return res, wrapPartial(res, err)
+}
+
+// StreamOptions controls MineJSONL's corpus ingestion.
+type StreamOptions struct {
+	// Lenient skips and counts malformed or oversized corpus lines instead
+	// of failing the run (see Stats.SkippedLines).
+	Lenient bool
+	// MaxLineBytes caps one corpus line (0 = 4 MiB).
+	MaxLineBytes int
+	// Buffer bounds the number of in-flight documents between the reader
+	// and the workers (0 = 4× workers).
+	Buffer int
+}
+
+// MineJSONL mines a JSONL corpus directly from a reader in bounded memory —
+// the entry point for corpora larger than RAM. Cancellation and panic
+// quarantine behave as in MineContext; a corpus read error likewise
+// surfaces as a *PartialError carrying the result over the documents read
+// before the failure.
+func (s *System) MineJSONL(ctx context.Context, r io.Reader, opts StreamOptions, cfg Config) (*Result, error) {
+	s.registerPending()
+	it := corpus.NewIterator(r, corpus.IteratorConfig{
+		Lenient:      opts.Lenient,
+		MaxLineBytes: opts.MaxLineBytes,
+	})
+	pcfg := s.pipelineConfig(cfg)
+	pcfg.StreamBuffer = opts.Buffer
+	pres, err := pipeline.RunStream(ctx, it, s.kb, s.lex, pcfg)
+	res := &Result{sys: s, res: pres}
+	return res, wrapPartial(res, err)
+}
+
+// QuarantinedDoc identifies one document removed from a run by the panic
+// boundary.
+type QuarantinedDoc struct {
+	// Doc is the document's index in the mined slice (or its sequence
+	// number in the JSONL stream).
+	Doc int
+	// Reason is the rendered panic value.
+	Reason string
+}
+
+// Quarantined lists the documents the fault boundary removed from the run,
+// in document order. Empty on a healthy run. The mined result is exactly
+// what a run without those documents would have produced.
+func (r *Result) Quarantined() []QuarantinedDoc {
+	out := make([]QuarantinedDoc, len(r.res.Quarantined))
+	for i, q := range r.res.Quarantined {
+		out[i] = QuarantinedDoc{Doc: q.Doc, Reason: q.Reason}
+	}
+	return out
 }
 
 // EntityOpinion is one classified entity-property pair.
@@ -258,6 +367,8 @@ type Stats struct {
 	PairsBeforeFilter int   // (type, property) pairs before ρ
 	ModelledGroups    int   // (type, property) pairs after ρ
 	OpinionsProduced  int64 // entity-property classifications emitted
+	QuarantinedDocs   int   // documents removed by the panic boundary
+	SkippedLines      int64 // corpus lines skipped by lenient streaming
 	ExtractionMillis  int64
 	GroupingMillis    int64
 	EMMillis          int64
@@ -279,6 +390,8 @@ func (r *Result) Stats() Stats {
 		PairsBeforeFilter: r.res.PairsBeforeFilter,
 		ModelledGroups:    len(r.res.Groups),
 		OpinionsProduced:  opinions,
+		QuarantinedDocs:   len(r.res.Quarantined),
+		SkippedLines:      r.res.SkippedLines,
 		ExtractionMillis:  r.res.Timings.Extraction.Milliseconds(),
 		GroupingMillis:    r.res.Timings.Grouping.Milliseconds(),
 		EMMillis:          r.res.Timings.EM.Milliseconds(),
@@ -292,10 +405,14 @@ func (r *Result) SaveEvidence(w io.Writer) error { return r.res.Store.Save(w) }
 
 // String renders a short report.
 func (s Stats) String() string {
+	health := ""
+	if s.QuarantinedDocs > 0 || s.SkippedLines > 0 {
+		health = fmt.Sprintf(" quarantined=%d skipped_lines=%d", s.QuarantinedDocs, s.SkippedLines)
+	}
 	return fmt.Sprintf(
-		"documents=%d sentences=%d statements=%d pairs=%d groups=%d/%d opinions=%d (extract %dms, group %dms, em %dms, index %dms, total %dms)",
+		"documents=%d sentences=%d statements=%d pairs=%d groups=%d/%d opinions=%d%s (extract %dms, group %dms, em %dms, index %dms, total %dms)",
 		s.Documents, s.Sentences, s.Statements, s.DistinctPairs,
-		s.ModelledGroups, s.PairsBeforeFilter, s.OpinionsProduced,
+		s.ModelledGroups, s.PairsBeforeFilter, s.OpinionsProduced, health,
 		s.ExtractionMillis, s.GroupingMillis, s.EMMillis, s.IndexMillis, s.TotalMillis)
 }
 

@@ -2,6 +2,9 @@ package surveyor
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -355,4 +358,91 @@ func TestOutOfRangeHandles(t *testing.T) {
 			t.Fatalf("EntityName(%d) = %q", id, got)
 		}
 	}
+}
+
+func TestMineJSONLMatchesMine(t *testing.T) {
+	// Streamed mining must produce the same opinions as in-memory mining.
+	inMem := demoSystem().Mine(demoDocs(), Config{Rho: 1})
+
+	var buf bytes.Buffer
+	for _, d := range demoDocs() {
+		buf.WriteString(`{"URL":"http://example.com","Domain":"com","Text":` + jsonString(d.Text) + "}\n")
+	}
+	sys := demoSystem()
+	res, err := sys.MineJSONL(context.Background(), &buf, StreamOptions{}, Config{Rho: 1})
+	if err != nil {
+		t.Fatalf("MineJSONL: %v", err)
+	}
+	a, b := inMem.Stats(), res.Stats()
+	if a.Documents != b.Documents || a.Statements != b.Statements || a.ModelledGroups != b.ModelledGroups {
+		t.Fatalf("stream stats %+v, in-memory %+v", b, a)
+	}
+	for _, name := range []string{"kitten", "puppy", "spider", "scorpion"} {
+		wa, ok1 := inMem.Opinion(name, "cute")
+		wb, ok2 := res.Opinion(name, "cute")
+		if ok1 != ok2 || wa.Opinion != wb.Opinion {
+			t.Errorf("%s: stream %v vs in-memory %v", name, wb.Opinion, wa.Opinion)
+		}
+	}
+}
+
+func TestMineJSONLLenientSkips(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("this is not json\n")
+	for _, d := range demoDocs() {
+		buf.WriteString(`{"Text":` + jsonString(d.Text) + "}\n")
+	}
+	buf.WriteString("{broken\n")
+	sys := demoSystem()
+	res, err := sys.MineJSONL(context.Background(), &buf, StreamOptions{Lenient: true}, Config{Rho: 1})
+	if err != nil {
+		t.Fatalf("lenient MineJSONL: %v", err)
+	}
+	st := res.Stats()
+	if st.SkippedLines != 2 {
+		t.Errorf("SkippedLines = %d, want 2", st.SkippedLines)
+	}
+	if st.Documents != len(demoDocs()) {
+		t.Errorf("Documents = %d, want %d", st.Documents, len(demoDocs()))
+	}
+	if !strings.Contains(st.String(), "skipped_lines=2") {
+		t.Errorf("Stats.String() = %q, want skipped-line count", st.String())
+	}
+}
+
+func TestMineContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before mining starts: nothing may be processed
+	sys := demoSystem()
+	res, err := sys.MineContext(ctx, demoDocs(), Config{Rho: 1})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause = %v, want context.Canceled", err)
+	}
+	if pe.Result != res || res == nil {
+		t.Fatal("PartialError must carry the returned result")
+	}
+	if pe.Documents != 0 || res.Stats().Documents != 0 {
+		t.Errorf("pre-cancelled mine processed %d documents", pe.Documents)
+	}
+}
+
+func TestQuarantinedSurfacesInStats(t *testing.T) {
+	// A healthy run reports no quarantine.
+	res := demoSystem().Mine(demoDocs(), Config{Rho: 1})
+	if q := res.Quarantined(); len(q) != 0 {
+		t.Fatalf("healthy run quarantined %v", q)
+	}
+	if st := res.Stats(); st.QuarantinedDocs != 0 || strings.Contains(st.String(), "quarantined") {
+		t.Fatalf("healthy stats advertise quarantine: %v", st)
+	}
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
 }
