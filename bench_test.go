@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/evidence"
 	"repro/internal/experiments"
 	"repro/internal/extract"
+	"repro/internal/incremental"
 	"repro/internal/kb"
 	"repro/internal/nlp/depparse"
 	"repro/internal/nlp/lexicon"
@@ -169,6 +171,66 @@ func BenchmarkPipelinePhases(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(snap.Documents)), "docs/run")
+}
+
+// BenchmarkIncrementalRefit contrasts the incremental miner's per-epoch
+// cost with the full re-model a batch system pays for every refresh.
+// "epoch-trickle" re-ingests a four-document batch into a miner already
+// holding the full corpus: extraction of four documents plus EM over only
+// the dirty groups. "batch-remodel" re-groups and re-fits the entire
+// cumulative store — what refreshing without dirty tracking costs. EM runs
+// a fixed iteration budget (tolerance 0) so the measured cost is exactly
+// tuples × iterations, free of convergence drift; the refit-tuples/op
+// metrics make the proportionality visible next to the time/op gap.
+func BenchmarkIncrementalRefit(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 2, Scale: benchScale}).Generate()
+	trickle := snap.Documents[:4]
+	cfg := pipeline.Config{Rho: int64(40 * benchScale)}
+	cfg.EM = core.DefaultEMConfig()
+	cfg.EM.MaxIterations = 10
+	cfg.EM.Tolerance = 0
+
+	m := incremental.New(base, lex, cfg)
+	if _, err := m.Ingest(context.Background(), snap.Documents); err != nil {
+		b.Fatal(err)
+	}
+	modelled := len(m.Snapshot().Groups)
+	if modelled == 0 {
+		b.Fatal("bulk ingest modelled no groups")
+	}
+
+	b.Run("epoch-trickle", func(b *testing.B) {
+		var tuples, groups int64
+		for i := 0; i < b.N; i++ {
+			st, err := m.Ingest(context.Background(), trickle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples += st.RefitTuples
+			groups += int64(st.RefitGroups)
+		}
+		b.ReportMetric(float64(tuples)/float64(b.N), "refit-tuples/op")
+		b.ReportMetric(float64(groups)/float64(b.N), "refit-groups/op")
+	})
+	b.Run("batch-remodel", func(b *testing.B) {
+		store := m.Snapshot().Store
+		var tuples int64
+		for i := 0; i < b.N; i++ {
+			res := pipeline.RunFromStore(store, base, cfg)
+			if len(res.Groups) < modelled {
+				b.Fatal("batch remodel lost groups")
+			}
+			tuples = 0
+			for gi := range res.Groups {
+				tuples += int64(len(res.Groups[gi].Entities))
+			}
+		}
+		b.ReportMetric(float64(tuples), "refit-tuples/op")
+	})
 }
 
 // BenchmarkObsOverhead measures the cost of the observability layer on

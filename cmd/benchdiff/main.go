@@ -25,7 +25,7 @@ import (
 // defaultBench is the fast, low-variance subset: the end-to-end pipeline,
 // the NLP front end, and the hot inner loops. The table/figure
 // reproduction benches are excluded — they are experiments, not gates.
-const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput|ObsOverhead"
+const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput|ObsOverhead|IncrementalRefit"
 
 // obsTolerance caps how much the observability layer may slow the
 // pipeline when a sink is attached: ObsOverhead/on is gated against

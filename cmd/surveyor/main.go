@@ -5,7 +5,7 @@
 // Usage:
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
-//	         [-stream] [-lenient]
+//	         [-stream] [-lenient] [-epochs N]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	         [-debug-addr ADDR] [-linger DUR] [-report FILE]
 //
@@ -13,6 +13,12 @@
 // feeds the corpus through the bounded-memory streaming pipeline instead
 // of loading it whole; -lenient skips and counts malformed or oversized
 // corpus lines instead of aborting.
+//
+// -epochs N replays the in-memory corpus through the incremental miner in
+// N contiguous epochs, printing per-epoch dirty-group and re-fit stats to
+// stderr. The final output is bit-identical to the default batch run —
+// the whole point of the incremental engine. Incompatible with -stream
+// (which has its own batching).
 //
 // SIGINT/SIGTERM cancel the run at document granularity: the documents
 // processed so far are still grouped and modelled, the partial statistics
@@ -58,6 +64,7 @@ func run() int {
 	in := flag.String("in", "", "input corpus (JSON lines); empty generates a demo snapshot")
 	stream := flag.Bool("stream", false, "stream the corpus through the pipeline in bounded memory (requires -in)")
 	lenient := flag.Bool("lenient", false, "skip and count malformed or oversized corpus lines instead of aborting")
+	epochs := flag.Int("epochs", 0, "replay the corpus through the incremental miner in N contiguous epochs (0 = one batch run)")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -106,6 +113,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-stream requires -in (the demo snapshot is generated in memory)")
 		return 1
 	}
+	if *epochs > 0 && *stream {
+		fmt.Fprintln(os.Stderr, "-epochs applies to in-memory corpora; it cannot be combined with -stream")
+		return 1
+	}
 
 	sys := surveyor.NewSystemWithBuiltinKB(*seed)
 	cfg := surveyor.Config{
@@ -147,7 +158,7 @@ func run() int {
 		if loadSkipped = it.Stats().Skipped(); loadSkipped > 0 {
 			fmt.Fprintf(os.Stderr, "skipped %d malformed or oversized corpus lines\n", loadSkipped)
 		}
-		res, mineErr = sys.MineContext(ctx, docs, cfg)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs)
 	default:
 		var docs []surveyor.Document
 		base := kb.Default(*seed)
@@ -157,7 +168,7 @@ func run() int {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
 		}
 		fmt.Fprintf(os.Stderr, "generated demo snapshot: %d documents\n", len(docs))
-		res, mineErr = sys.MineContext(ctx, docs, cfg)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs)
 	}
 	stopSignals()
 
@@ -227,6 +238,38 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// mine runs an in-memory corpus either as one batch (epochs <= 1 behaves
+// like plain MineContext, except epochs == 1 exercises the incremental
+// path with a single epoch) or through the incremental miner in epochs
+// contiguous epochs, printing per-epoch stats. The two paths produce
+// bit-identical results.
+func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, cfg surveyor.Config, epochs int) (*surveyor.Result, error) {
+	if epochs <= 0 {
+		return sys.MineContext(ctx, docs, cfg)
+	}
+	m := sys.MineIncremental(cfg)
+	for e := 0; e < epochs; e++ {
+		lo, hi := len(docs)*e/epochs, len(docs)*(e+1)/epochs
+		st, err := m.Epoch(ctx, docs[lo:hi])
+		if err != nil {
+			// An interrupted epoch was discarded whole; the snapshot is the
+			// consistent result over the epochs that committed.
+			snap := m.Snapshot()
+			return snap, &surveyor.PartialError{
+				Result:    snap,
+				Documents: snap.Stats().Documents,
+				Err:       err,
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"epoch %d/%d: docs=%d statements=%d dirty=%d refit=%d/%d tuples=%d (%dms)\n",
+			st.Epoch+1, epochs, st.Documents, st.Statements, st.DirtyGroups,
+			st.RefitGroups, st.ModelledGroups, st.RefitTuples,
+			st.Duration.Milliseconds())
+	}
+	return m.Snapshot(), nil
 }
 
 // writeReport fills an obs.Report from the run statistics and telemetry

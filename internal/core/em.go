@@ -221,6 +221,16 @@ func FitAndClassify(tuples []Tuple, cfg EMConfig) (Model, []Result, Trace) {
 	return model, model.Classify(tuples), trace
 }
 
+// FitAndClassifyInto is FitAndClassify with a caller-provided result
+// buffer, for re-fit loops that process many groups (the EM worker pool,
+// the incremental miner): results are appended to dst, which is usually
+// resliced to dst[:0] between groups. The fit and every classification
+// are bit-identical to FitAndClassify.
+func FitAndClassifyInto(dst []Result, tuples []Tuple, cfg EMConfig) (Model, []Result, Trace) {
+	model, trace := FitEM(tuples, cfg)
+	return model, model.ClassifyInto(dst, tuples), trace
+}
+
 // GenerateTuples draws m evidence tuples from the model itself given the
 // latent opinions — the exact generative process of Figure 8. Used by
 // tests (parameter recovery) and the model-faithful corpus mode.

@@ -203,11 +203,17 @@ type Result struct {
 
 // Classify returns the posterior probability and decision for every tuple.
 func (m Model) Classify(tuples []Tuple) []Result {
+	return m.ClassifyInto(make([]Result, 0, len(tuples)), tuples)
+}
+
+// ClassifyInto appends the posterior probability and decision for every
+// tuple to dst and returns the extended slice — the scratch-reuse variant
+// of Classify for per-group re-fit loops.
+func (m Model) ClassifyInto(dst []Result, tuples []Tuple) []Result {
 	r := newPoissonRates(m.Params)
-	out := make([]Result, len(tuples))
-	for i, c := range tuples {
+	for _, c := range tuples {
 		p := r.posterior(c)
-		out[i] = Result{Probability: p, Opinion: Decide(p)}
+		dst = append(dst, Result{Probability: p, Opinion: Decide(p)})
 	}
-	return out
+	return dst
 }

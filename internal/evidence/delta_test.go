@@ -1,0 +1,94 @@
+package evidence
+
+import (
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/kb"
+	"repro/internal/stats"
+)
+
+// TestAccumulatorMatchesBatchGrouping is the unit-level differential for
+// the delta layer: absorbing a random store in several delta slices must
+// leave the accumulator able to materialize exactly the groups — same
+// keys, same KB-order entity expansion, same totals — that
+// GroupByTypeProperty computes from the merged store in one pass.
+func TestAccumulatorMatchesBatchGrouping(t *testing.T) {
+	base := testKB()
+	rng := stats.NewRNG(11)
+	props := []string{"cute", "big", "dangerous"}
+
+	whole := NewStore()
+	acc := NewGroupAccumulator(base)
+	var dirtyUnion []GroupKey
+	for epoch := 0; epoch < 4; epoch++ {
+		delta := NewStore()
+		for i := 0; i < 50; i++ {
+			st := extract.Statement{
+				Entity:   kb.EntityID(rng.IntRange(0, 4)),
+				Property: props[rng.IntRange(0, len(props)-1)],
+				Polarity: extract.Positive,
+			}
+			if rng.Bernoulli(0.3) {
+				st.Polarity = extract.Negative
+			}
+			delta.Add(st)
+		}
+		whole.Merge(delta)
+		dirtyUnion = append(dirtyUnion, acc.AbsorbDelta(delta)...)
+	}
+
+	const rho = 5
+	want := GroupByTypeProperty(whole, base, rho)
+	seen := map[GroupKey]bool{}
+	var got []Group
+	for _, k := range dirtyUnion {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if g, ok := acc.Materialize(k, rho); ok {
+			got = append(got, g)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("accumulator materialized %d groups, batch grouping found %d", len(got), len(want))
+	}
+	byKey := map[GroupKey]Group{}
+	for _, g := range got {
+		byKey[g.Key] = g
+	}
+	for _, w := range want {
+		g, ok := byKey[w.Key]
+		if !ok {
+			t.Fatalf("group %v missing from accumulator", w.Key)
+		}
+		if g.Statements != w.Statements {
+			t.Errorf("group %v: statements %d vs %d", w.Key, g.Statements, w.Statements)
+		}
+		if len(g.Entities) != len(w.Entities) {
+			t.Fatalf("group %v: %d entities vs %d", w.Key, len(g.Entities), len(w.Entities))
+		}
+		for i := range w.Entities {
+			if g.Entities[i] != w.Entities[i] {
+				t.Errorf("group %v entity %d: %+v vs %+v", w.Key, i, g.Entities[i], w.Entities[i])
+			}
+		}
+	}
+	if whole.Len() == 0 || acc.Pairs() == 0 {
+		t.Fatal("vacuous fixture")
+	}
+	// Pairs reports the before-ρ statistic: every distinct pair, modelled
+	// or not.
+	if _, before := ParallelGroupObserved(whole, base, rho, 2, nil); acc.Pairs() != before {
+		t.Errorf("Pairs() = %d, batch before-filter count = %d", acc.Pairs(), before)
+	}
+
+	// Sub-ρ and untouched groups must not materialize.
+	if _, ok := acc.Materialize(GroupKey{"city", "no-such-property"}, 1); ok {
+		t.Error("untouched group materialized")
+	}
+	if g, ok := acc.Materialize(want[0].Key, want[0].Statements+1); ok {
+		t.Errorf("group above its own total materialized: %+v", g)
+	}
+}

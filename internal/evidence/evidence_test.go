@@ -82,6 +82,77 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeEmptyIdentity pins both identity laws of the merge monoid: an
+// empty store merged INTO a populated one changes nothing, and a populated
+// store merged into an empty one reproduces it exactly. The incremental
+// miner leans on both — an epoch with no evidence is a published no-op.
+func TestMergeEmptyIdentity(t *testing.T) {
+	populate := func() *Store {
+		s := NewStore()
+		s.AddCounts(Key{0, "cute"}, Counts{Pos: 2, Neg: 1})
+		s.AddCounts(Key{1, "big"}, Counts{Pos: 1})
+		s.AddCounts(Key{3, "big"}, Counts{Neg: 4})
+		return s
+	}
+	same := func(a, b *Store) bool {
+		sa, sb := a.Snapshot(), b.Snapshot()
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	a := populate()
+	a.Merge(NewStore())
+	if !same(a, populate()) || a.TotalStatements() != 8 {
+		t.Fatalf("right identity violated: %v (total %d)", a.Snapshot(), a.TotalStatements())
+	}
+
+	b := NewStore()
+	b.Merge(populate())
+	if !same(b, populate()) || b.Len() != 3 {
+		t.Fatalf("left identity violated: %v", b.Snapshot())
+	}
+}
+
+// Property: merging the zero delta into an arbitrary store any number of
+// times is idempotent — snapshot, length, and statement total are all
+// unchanged, however often the no-op repeats.
+func TestMergeZeroDeltaIdempotentProperty(t *testing.T) {
+	f := func(raw []uint8, repeats uint8) bool {
+		s := NewStore()
+		for _, v := range raw {
+			s.AddCounts(Key{kb.EntityID(v % 7), []string{"cute", "big", "calm"}[int(v)%3]},
+				Counts{Pos: int64(v % 4), Neg: int64(v % 3)})
+		}
+		want := s.Snapshot()
+		wantTotal := s.TotalStatements()
+		zero := NewStore()
+		for i := 0; i < int(repeats%8)+1; i++ {
+			s.Merge(zero)
+			got := s.Snapshot()
+			if len(got) != len(want) || s.TotalStatements() != wantTotal {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		// The zero delta itself must stay zero through repeated use.
+		return zero.Len() == 0 && zero.TotalStatements() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotSorted(t *testing.T) {
 	s := NewStore()
 	s.AddCounts(Key{3, "big"}, Counts{Pos: 1})

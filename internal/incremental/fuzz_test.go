@@ -1,0 +1,59 @@
+package incremental_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/incremental"
+	"repro/internal/pipeline"
+	"repro/internal/testkit"
+)
+
+// fuzzWorld is the shared tiny fixture for the fuzz target: building a KB
+// and registering the lexicon once keeps each fuzz execution cheap enough
+// for a meaningful corpus-splitting search.
+var fuzzWorld = testkit.NewTinyWorld(1, 0.05)
+
+// FuzzEpochSplit feeds arbitrary text — split into documents on newlines —
+// through the incremental miner at fuzzer-chosen epoch boundaries and
+// diffs the final snapshot against the batch oracle over the same
+// documents. Any divergence, and any panic escaping the quarantine
+// boundary, is a finding: the bit-identity contract has no "except for
+// weird input" clause.
+func FuzzEpochSplit(f *testing.F) {
+	f.Add("Kittens are cute. Spiders are not cute.\nThe puppy is cute.", uint8(1), uint8(2))
+	f.Add("The spider is not cute.\n\nSlugs are cute?!", uint8(0), uint8(0))
+	f.Add("kitten kitten kitten", uint8(200), uint8(3))
+	f.Add("Pandas seem cute.\nRats are cute.\nWasps are cute.\nCobras are cute.", uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, data string, cut uint8, cut2 uint8) {
+		if len(data) > 4096 {
+			t.Skip() // bound per-execution cost; long inputs add no new structure
+		}
+		var docs []corpus.Document
+		for _, line := range strings.Split(data, "\n") {
+			docs = append(docs, corpus.Document{Text: line})
+		}
+		// Two fuzzer-chosen cuts — possibly equal, possibly 0 or len — give
+		// three epochs covering empty, single-doc, and lopsided shapes.
+		a := int(cut) % (len(docs) + 1)
+		b := int(cut2) % (len(docs) + 1)
+		if a > b {
+			a, b = b, a
+		}
+		cfg := pipeline.Config{Rho: 1, Workers: 2}
+		batch := pipeline.Run(docs, fuzzWorld.KB, fuzzWorld.Lex, cfg)
+
+		m := incremental.New(fuzzWorld.KB, fuzzWorld.Lex, cfg)
+		for i, epoch := range [][]corpus.Document{docs[:a], docs[a:b], docs[b:]} {
+			if _, err := m.Ingest(context.Background(), epoch); err != nil {
+				t.Fatalf("epoch %d: %v", i, err)
+			}
+		}
+		if diffs := testkit.DiffResults(m.Snapshot(), batch); len(diffs) > 0 {
+			t.Errorf("cuts (%d, %d) of %d docs: incremental diverges from batch:\n  %s",
+				a, b, len(docs), strings.Join(diffs, "\n  "))
+		}
+	})
+}

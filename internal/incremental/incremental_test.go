@@ -1,0 +1,138 @@
+package incremental_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/incremental"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/testkit"
+)
+
+// TestEmptyMiner pins the pre-ingest contract: a fresh miner publishes an
+// empty but fully usable snapshot.
+func TestEmptyMiner(t *testing.T) {
+	w := testkit.NewTinyWorld(1, 0.1)
+	m := incremental.New(w.KB, w.Lex, pipeline.Config{Rho: 1})
+	snap := m.Snapshot()
+	if snap == nil {
+		t.Fatal("fresh miner published a nil snapshot")
+	}
+	if len(snap.Groups) != 0 || snap.Documents != 0 || snap.TotalStatements != 0 {
+		t.Fatalf("fresh snapshot is not empty: %d groups, %d docs, %d statements",
+			len(snap.Groups), snap.Documents, snap.TotalStatements)
+	}
+	if _, ok := snap.Group("animal", "cute"); ok {
+		t.Fatal("empty snapshot resolved a group")
+	}
+	if m.Epochs() != 0 {
+		t.Fatalf("fresh miner reports %d epochs", m.Epochs())
+	}
+}
+
+// TestIngestStreamMatchesBatch drains a JSONL corpus through IngestStream
+// in small batches and asserts the final snapshot is bit-identical to the
+// batch run, and that the per-epoch stats account for every document.
+func TestIngestStreamMatchesBatch(t *testing.T) {
+	w := testkit.NewTinyWorld(2, 0.4)
+	docs := w.Docs()
+	var buf bytes.Buffer
+	if err := corpus.WriteJSONL(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.Config{Rho: 5, Workers: 2}
+	batch := pipeline.Run(docs, w.KB, w.Lex, cfg)
+
+	m := incremental.New(w.KB, w.Lex, cfg)
+	it := corpus.NewIterator(&buf, corpus.IteratorConfig{})
+	stats, err := m.IngestStream(context.Background(), it, 7)
+	if err != nil {
+		t.Fatalf("clean stream failed: %v", err)
+	}
+	want := (len(docs) + 6) / 7
+	if len(stats) != want {
+		t.Fatalf("stream produced %d epochs over %d docs at batch 7, want %d", len(stats), len(docs), want)
+	}
+	var total int
+	for _, st := range stats {
+		total += st.Documents
+	}
+	if total != len(docs) {
+		t.Fatalf("epoch stats count %d documents, stream carried %d", total, len(docs))
+	}
+	if diffs := testkit.DiffResults(m.Snapshot(), batch); len(diffs) > 0 {
+		t.Errorf("streamed incremental run diverges from batch:\n  %s", strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestIngestStreamReadError kills the reader mid-stream: the documents
+// read before the failure must still be ingested (the snapshot matches a
+// batch run over them), and the cause must surface.
+func TestIngestStreamReadError(t *testing.T) {
+	w := testkit.NewTinyWorld(3, 0.4)
+	docs := w.Docs()
+	var buf bytes.Buffer
+	if err := corpus.WriteJSONL(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cfg := pipeline.Config{Rho: 5, Workers: 2}
+
+	m := incremental.New(w.KB, w.Lex, cfg)
+	it := corpus.NewIterator(&testkit.FailingReader{R: bytes.NewReader(data), N: int64(len(data) / 2)},
+		corpus.IteratorConfig{})
+	stats, err := m.IngestStream(context.Background(), it, 4)
+	if err == nil {
+		t.Fatal("injected read failure was not reported")
+	}
+	var consumed int
+	for _, st := range stats {
+		consumed += st.Documents
+	}
+	if consumed == 0 || consumed >= len(docs) {
+		t.Fatalf("consumed %d of %d — fault fired at the wrong time", consumed, len(docs))
+	}
+	batch := pipeline.Run(docs[:consumed], w.KB, w.Lex, cfg)
+	if diffs := testkit.DiffResults(m.Snapshot(), batch); len(diffs) > 0 {
+		t.Errorf("partial stream snapshot diverges from batch over consumed prefix:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestObsInvariance: telemetry is write-only — a miner wired to a live obs
+// sink must publish snapshots bit-identical to one with none, and the
+// epoch metrics must actually record.
+func TestObsInvariance(t *testing.T) {
+	w := testkit.NewTinyWorld(1, 0.4)
+	docs := w.Docs()
+	cfg := pipeline.Config{Rho: 5, Workers: 2}
+
+	silent := incremental.New(w.KB, w.Lex, cfg)
+	o := obs.New()
+	ocfg := cfg
+	ocfg.Obs = o
+	observed := incremental.New(w.KB, w.Lex, ocfg)
+
+	half := len(docs) / 2
+	for _, epoch := range [][]corpus.Document{docs[:half], docs[half:]} {
+		if _, err := silent.Ingest(context.Background(), epoch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := observed.Ingest(context.Background(), epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diffs := testkit.DiffResults(observed.Snapshot(), silent.Snapshot()); len(diffs) > 0 {
+		t.Errorf("live obs sink changed the published snapshot:\n  %s", strings.Join(diffs, "\n  "))
+	}
+	if got := o.Incremental().Epochs.Value(); got != 2 {
+		t.Errorf("epoch counter recorded %d epochs, want 2", got)
+	}
+	if o.Incremental().RefitTuples.Value() == 0 {
+		t.Error("refit-tuple counter recorded nothing over two modelled epochs")
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// IncrementalObs is the write-only counter set of the incremental miner
+// (internal/incremental): per-epoch dirty-group volume, re-fit work, and
+// latency. Like every obs surface it is strictly write-only from the
+// miner's perspective — epochs with a live sink publish snapshots
+// bit-identical to epochs with a nil one.
+type IncrementalObs struct {
+	// Epochs counts ingested epochs.
+	Epochs *Counter // surveyor_epochs_total
+	// DirtyGroups counts (type, property) groups whose counters changed,
+	// summed over epochs; the per-epoch distribution is in DirtyPerEpoch.
+	DirtyGroups   *Counter   // surveyor_epoch_dirty_groups_total
+	DirtyPerEpoch *Histogram // surveyor_epoch_dirty_groups
+	// RefitGroups and RefitTuples count the EM re-fit work actually done:
+	// dirty groups at or above rho, and the entity tuples their fits
+	// processed. RefitTuples versus the corpus-wide tuple count is the
+	// proportionality statistic of the incremental differential suite.
+	RefitGroups *Counter // surveyor_epoch_refit_groups_total
+	RefitTuples *Counter // surveyor_epoch_refit_tuples_total
+	// RefitFraction is the last epoch's refit-groups / modelled-groups
+	// ratio — the live "how incremental was that" gauge.
+	RefitFraction *Gauge // surveyor_epoch_refit_fraction
+	// EpochMillis is the end-to-end epoch latency distribution (extract,
+	// merge, re-fit, splice, publish).
+	EpochMillis *Histogram // surveyor_epoch_latency_ms
+}
+
+// defaultEpochMillisBounds spans interactive replays (sub-millisecond
+// epochs on test corpora) through production-sized batches.
+var defaultEpochMillisBounds = []float64{1, 5, 25, 100, 500, 2500, 10000, 60000}
+
+// defaultDirtyGroupBounds covers dirty-set sizes from a single touched
+// group to full-corpus churn.
+var defaultDirtyGroupBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}
+
+// Incremental resolves the incremental miner's metric inventory on the
+// RunObs registry. With a nil RunObs or registry every handle is nil and
+// recording is free.
+func (o *RunObs) Incremental() *IncrementalObs {
+	var r *Registry
+	if o != nil {
+		r = o.Metrics
+	}
+	return &IncrementalObs{
+		Epochs: r.Counter("surveyor_epochs_total", "corpus epochs ingested by the incremental miner"),
+		DirtyGroups: r.Counter("surveyor_epoch_dirty_groups_total",
+			"(type, property) groups whose counters changed, summed over epochs"),
+		DirtyPerEpoch: r.Histogram("surveyor_epoch_dirty_groups",
+			"dirty (type, property) groups per epoch", defaultDirtyGroupBounds),
+		RefitGroups: r.Counter("surveyor_epoch_refit_groups_total",
+			"modelled groups re-fitted with EM, summed over epochs"),
+		RefitTuples: r.Counter("surveyor_epoch_refit_tuples_total",
+			"entity tuples processed by epoch re-fits"),
+		RefitFraction: r.Gauge("surveyor_epoch_refit_fraction",
+			"last epoch's re-fitted share of modelled groups"),
+		EpochMillis: r.Histogram("surveyor_epoch_latency_ms",
+			"end-to-end epoch latency in milliseconds", defaultEpochMillisBounds),
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/annotate"
-	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/evidence"
 	"repro/internal/extract"
@@ -205,83 +204,20 @@ func finishRun(res *Result, base *kb.KB, cfg Config) {
 	pm.PairsBefore.Set(float64(before))
 	pm.Groups.Set(float64(len(groups)))
 
-	// EM: a fixed worker pool claims groups through an atomic counter, so
-	// each worker reuses one tuple buffer instead of allocating per group.
-	// (FitAndClassify copies what it keeps.) Convergence telemetry flows
-	// through a write-only per-group observer — it cannot alter the fit,
-	// so obs-on and obs-off runs stay bit-identical.
+	// EM: the shared worker pool of fitGroups (see refit.go) — also the
+	// re-fit entry point the incremental miner drives with dirty groups
+	// only.
 	span = o.Phase("em")
-	res.Groups = make([]GroupResult, len(groups))
-	var emWG sync.WaitGroup
-	var nextGroup atomic.Int64
-	for w := 0; w < workerCount(cfg.Workers, len(groups)); w++ {
-		emWG.Add(1)
-		go func() {
-			defer emWG.Done()
-			var tuples []core.Tuple
-			for {
-				gi := int(nextGroup.Add(1)) - 1
-				if gi >= len(groups) {
-					break
-				}
-				g := groups[gi]
-				if cap(tuples) < len(g.Entities) {
-					tuples = make([]core.Tuple, len(g.Entities))
-				} else {
-					tuples = tuples[:len(g.Entities)]
-				}
-				for i, ec := range g.Entities {
-					tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
-				}
-				emCfg := cfg.EM
-				gobs := o.EMGroup(g.Key.Type, g.Key.Property, len(g.Entities))
-				if gobs != nil {
-					emCfg.Observer = func(_ int, p core.Params, ll float64) {
-						gobs.Iter(p.PA, p.NpPlus, p.NpMinus, ll)
-					}
-				}
-				model, results, trace := core.FitAndClassify(tuples, emCfg)
-				if gobs != nil {
-					finalLL := 0.0
-					if n := len(trace.LogLikelihoods); n > 0 {
-						finalLL = trace.LogLikelihoods[n-1]
-					}
-					gobs.Done(trace.Iterations, trace.Converged, finalLL)
-				}
-				pm.EMIterations.Observe(float64(trace.Iterations))
-				gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
-					Entities: make([]EntityOpinion, len(g.Entities))}
-				for i, ec := range g.Entities {
-					gr.Entities[i] = EntityOpinion{
-						Entity:      ec.Entity,
-						Pos:         ec.Pos,
-						Neg:         ec.Neg,
-						Probability: results[i].Probability,
-						Opinion:     results[i].Opinion,
-					}
-				}
-				res.Groups[gi] = gr
-			}
-		}()
-	}
-	emWG.Wait()
+	res.Groups = fitGroups(groups, cfg)
 	res.Timings.EM = span.End()
 
 	// Index: the O(1) lookup structures over groups and opinions.
 	span = o.Phase("index")
+	res.buildIndex()
+	res.Timings.Index = span.End()
 	totalEntities := 0
 	for gi := range res.Groups {
 		totalEntities += len(res.Groups[gi].Entities)
 	}
-	res.index = make(map[opinionKey]*EntityOpinion, totalEntities)
-	res.groupIndex = make(map[evidence.GroupKey]*GroupResult, len(res.Groups))
-	for gi := range res.Groups {
-		g := &res.Groups[gi]
-		res.groupIndex[g.Key] = g
-		for i := range g.Entities {
-			res.index[opinionKey{g.Entities[i].Entity, g.Key.Property}] = &g.Entities[i]
-		}
-	}
-	res.Timings.Index = span.End()
 	pm.Opinions.Add(int64(totalEntities))
 }

@@ -27,8 +27,6 @@ package pipeline
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -285,79 +283,18 @@ func RunContext(ctx context.Context, docs []corpus.Document, base *kb.KB, lex *l
 	// Phase 1: parallel extraction (map).
 	span := o.Phase("extract")
 	pm := o.PipelineMetrics()
-	store := evidence.NewStore()
-	nlp := newNLPComponents(lex, base, cfg.Version)
-	var sentences atomic.Int64
-	var ql quarantineLog
-
-	// Documents are fed through a shared atomic index rather than static
-	// shards: document lengths are heavily skewed (the long-tail shapes of
-	// Figure 9), and pre-cut shards leave workers idle behind the slowest
-	// one. The evidence store is commutative, so the schedule cannot change
-	// the result — the testkit differential suite proves it.
-	//
-	// Each worker owns one docProcessor (NLP scratch buffers reused across
-	// every sentence, plus the per-document fault boundary) and a private
-	// evidence accumulator folded into the shared store once at the end.
-	// Telemetry goes through a worker-owned obs handle (per-worker progress
-	// slot, locally buffered spans), so the hot loop never contends on a
-	// shared observability structure.
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wo := o.Worker(w)
-			local := int64(0)
-			acc := evidence.NewLocal()
-			proc := &docProcessor{nlpComponents: nlp}
-			for {
-				if ctx.Err() != nil {
-					break
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(docs) {
-					break
-				}
-				wo.DocStart()
-				if reason, ok := proc.process(i, &docs[i], cfg.Fault); !ok {
-					ql.add(i, reason)
-					pm.QuarantinedDocs.Inc()
-					wo.DocEnd(i, 0, 0)
-					continue
-				}
-				for _, st := range proc.buf {
-					acc.Add(st)
-				}
-				local += proc.sentences
-				wo.DocEnd(i, proc.sentences, int64(len(proc.buf)))
-				pm.DocSentences.Observe(float64(proc.sentences))
-			}
-			acc.FlushTo(store)
-			sentences.Add(local)
-			wo.Close("extract")
-		}(w)
-	}
-	wg.Wait()
-
-	// Every index below consumed was claimed by a worker, and a claimed
-	// document is always finished, so the processed prefix is contiguous:
-	// committed documents are exactly [0, consumed) minus the quarantine.
-	consumed := int(next.Load())
-	if consumed > len(docs) {
-		consumed = len(docs)
-	}
-	res.Quarantined = ql.sorted()
-	res.Documents = consumed - len(res.Quarantined)
-	res.Store = store
-	res.Sentences = sentences.Load()
-	res.TotalStatements = store.TotalStatements()
-	res.DistinctPairs = store.Len()
+	ext := extractDocs(ctx, docs, base, lex, cfg, 0)
+	res.Quarantined = ext.Quarantined
+	res.Documents = ext.Consumed - len(res.Quarantined)
+	res.Store = ext.Store
+	res.Sentences = ext.Sentences
+	res.TotalStatements = ext.Store.TotalStatements()
+	res.DistinctPairs = ext.Store.Len()
 	res.Timings.Extraction = span.End()
 	pm.Documents.Add(int64(res.Documents))
 	pm.Sentences.Add(res.Sentences)
 	pm.Statements.Add(res.TotalStatements)
+	consumed := ext.Consumed
 
 	// Phases 2-3 (grouping, EM) and the lookup index are shared with
 	// RunAnnotated. They run to completion even when ctx was cancelled:

@@ -1,0 +1,273 @@
+// Reusable pieces of the pipeline for callers that do not run it end to
+// end — above all the incremental miner (internal/incremental), which
+// extracts per-epoch evidence deltas, re-fits only the dirty groups, and
+// splices the refreshed fits into a published snapshot. Everything here
+// is a refactoring of RunContext/finishRun internals into entry points,
+// with behaviour proven bit-identical by the testkit differential suites.
+package pipeline
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+)
+
+// Extraction is the output of the parallel extraction phase alone: the
+// evidence delta plus the input-side statistics a Result would report for
+// it. Quarantined indices carry the document offset passed to
+// ExtractEvidence, so epoch-local runs line up with a batch run over the
+// concatenated corpus.
+type Extraction struct {
+	// Store holds the extracted evidence counters.
+	Store *evidence.Store
+	// Sentences counts sentences of committed documents.
+	Sentences int64
+	// Quarantined lists the documents the panic boundary removed, sorted
+	// by (offset-adjusted) document index.
+	Quarantined []Quarantined
+	// Consumed is the number of leading documents claimed: len(docs)
+	// unless the context was cancelled mid-phase.
+	Consumed int
+}
+
+// ExtractEvidence runs only the parallel extraction phase (the map step)
+// over docs and returns the evidence delta. docOffset shifts every
+// document index the phase emits — quarantine records and the Fault hook
+// argument — by the number of documents that precede this batch, so an
+// epoch-split replay reports exactly the indices of one batch run over
+// the concatenation. On cancellation the partial extraction is returned
+// together with ctx.Err(); callers with atomic-epoch semantics (the
+// incremental miner) discard it.
+func ExtractEvidence(ctx context.Context, docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config, docOffset int) (*Extraction, error) {
+	cfg = cfg.withDefaults()
+	ext := extractDocs(ctx, docs, base, lex, cfg, docOffset)
+	if ext.Consumed < len(docs) {
+		return ext, ctx.Err()
+	}
+	return ext, nil
+}
+
+// extractDocs is the extraction loop shared by RunContext and
+// ExtractEvidence: an atomic work index feeds documents to workers, each
+// owning one docProcessor and one worker-local evidence accumulator.
+// Documents are fed through a shared atomic index rather than static
+// shards: document lengths are heavily skewed (the long-tail shapes of
+// Figure 9), and pre-cut shards leave workers idle behind the slowest
+// one. The evidence store is commutative, so the schedule cannot change
+// the result — the testkit differential suite proves it.
+//
+// Each worker owns one docProcessor (NLP scratch buffers reused across
+// every sentence, plus the per-document fault boundary) and a private
+// evidence accumulator folded into the shared store once at the end.
+// Telemetry goes through a worker-owned obs handle (per-worker progress
+// slot, locally buffered spans), so the hot loop never contends on a
+// shared observability structure.
+func extractDocs(ctx context.Context, docs []corpus.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config, docOffset int) *Extraction {
+	o := cfg.Obs
+	pm := o.PipelineMetrics()
+	store := evidence.NewStore()
+	nlp := newNLPComponents(lex, base, cfg.Version)
+	workers := workerCount(cfg.Workers, len(docs))
+	var sentences atomic.Int64
+	var ql quarantineLog
+
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wo := o.Worker(w)
+			local := int64(0)
+			acc := evidence.NewLocal()
+			proc := &docProcessor{nlpComponents: nlp}
+			for {
+				if ctx.Err() != nil {
+					break
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					break
+				}
+				doc := docOffset + i
+				wo.DocStart()
+				if reason, ok := proc.process(doc, &docs[i], cfg.Fault); !ok {
+					ql.add(doc, reason)
+					pm.QuarantinedDocs.Inc()
+					wo.DocEnd(doc, 0, 0)
+					continue
+				}
+				for _, st := range proc.buf {
+					acc.Add(st)
+				}
+				local += proc.sentences
+				wo.DocEnd(doc, proc.sentences, int64(len(proc.buf)))
+				pm.DocSentences.Observe(float64(proc.sentences))
+			}
+			acc.FlushTo(store)
+			sentences.Add(local)
+			wo.Close("extract")
+		}(w)
+	}
+	wg.Wait()
+
+	// Every index below consumed was claimed by a worker, and a claimed
+	// document is always finished, so the processed prefix is contiguous:
+	// committed documents are exactly [0, consumed) minus the quarantine.
+	consumed := int(next.Load())
+	if consumed > len(docs) {
+		consumed = len(docs)
+	}
+	return &Extraction{
+		Store:       store,
+		Sentences:   sentences.Load(),
+		Quarantined: ql.sorted(),
+		Consumed:    consumed,
+	}
+}
+
+// FitGroups runs the per-group EM phase over an explicit group list and
+// returns one GroupResult per group, in input order. It is the re-fit
+// entry point of the incremental miner: handed only the dirty groups, it
+// does work proportional to them, and each fit is bit-identical to the
+// one finishRun would produce for the same group — both run the same
+// worker pool over the same deterministic per-group computation.
+func FitGroups(groups []evidence.Group, cfg Config) []GroupResult {
+	return fitGroups(groups, cfg.withDefaults())
+}
+
+// fitGroups is the EM worker pool shared by finishRun and FitGroups: a
+// fixed set of workers claims groups through an atomic counter, so each
+// worker reuses one tuple buffer and one classification buffer instead of
+// allocating per group. Convergence telemetry flows through a write-only
+// per-group observer — it cannot alter the fit, so obs-on and obs-off
+// runs stay bit-identical.
+func fitGroups(groups []evidence.Group, cfg Config) []GroupResult {
+	o := cfg.Obs
+	pm := o.PipelineMetrics()
+	out := make([]GroupResult, len(groups))
+	var wg sync.WaitGroup
+	var nextGroup atomic.Int64
+	for w := 0; w < workerCount(cfg.Workers, len(groups)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tuples []core.Tuple
+			var results []core.Result
+			for {
+				gi := int(nextGroup.Add(1)) - 1
+				if gi >= len(groups) {
+					break
+				}
+				g := groups[gi]
+				if cap(tuples) < len(g.Entities) {
+					tuples = make([]core.Tuple, len(g.Entities))
+				} else {
+					tuples = tuples[:len(g.Entities)]
+				}
+				for i, ec := range g.Entities {
+					tuples[i] = core.Tuple{Pos: int(ec.Pos), Neg: int(ec.Neg)}
+				}
+				emCfg := cfg.EM
+				gobs := o.EMGroup(g.Key.Type, g.Key.Property, len(g.Entities))
+				if gobs != nil {
+					emCfg.Observer = func(_ int, p core.Params, ll float64) {
+						gobs.Iter(p.PA, p.NpPlus, p.NpMinus, ll)
+					}
+				}
+				var model core.Model
+				var trace core.Trace
+				model, results, trace = core.FitAndClassifyInto(results[:0], tuples, emCfg)
+				if gobs != nil {
+					finalLL := 0.0
+					if n := len(trace.LogLikelihoods); n > 0 {
+						finalLL = trace.LogLikelihoods[n-1]
+					}
+					gobs.Done(trace.Iterations, trace.Converged, finalLL)
+				}
+				pm.EMIterations.Observe(float64(trace.Iterations))
+				gr := GroupResult{Key: g.Key, Model: model, Trace: trace,
+					Entities: make([]EntityOpinion, len(g.Entities))}
+				for i, ec := range g.Entities {
+					gr.Entities[i] = EntityOpinion{
+						Entity:      ec.Entity,
+						Pos:         ec.Pos,
+						Neg:         ec.Neg,
+						Probability: results[i].Probability,
+						Opinion:     results[i].Opinion,
+					}
+				}
+				out[gi] = gr
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ResultStats carries the corpus-level statistics of an assembled Result
+// — everything AssembleResult cannot derive from the groups alone.
+type ResultStats struct {
+	TotalStatements   int64
+	DistinctPairs     int
+	PairsBeforeFilter int
+	Sentences         int64
+	Documents         int
+	Quarantined       []Quarantined
+	SkippedLines      int64
+}
+
+// AssembleResult builds an indexed, query-ready Result from already
+// fitted groups. groups must be sorted by (type, property) — the order
+// every batch entry point produces — so an assembled snapshot is
+// field-for-field comparable with a batch Result. The groups slice and
+// everything it references are retained; callers treat them as immutable
+// after assembly.
+func AssembleResult(store *evidence.Store, groups []GroupResult, stats ResultStats) *Result {
+	if !sort.SliceIsSorted(groups, func(a, b int) bool {
+		if groups[a].Key.Type != groups[b].Key.Type {
+			return groups[a].Key.Type < groups[b].Key.Type
+		}
+		return groups[a].Key.Property < groups[b].Key.Property
+	}) {
+		panic("pipeline: AssembleResult requires groups sorted by (type, property)")
+	}
+	res := &Result{
+		Store:             store,
+		Groups:            groups,
+		TotalStatements:   stats.TotalStatements,
+		DistinctPairs:     stats.DistinctPairs,
+		PairsBeforeFilter: stats.PairsBeforeFilter,
+		Sentences:         stats.Sentences,
+		Documents:         stats.Documents,
+		Quarantined:       stats.Quarantined,
+		SkippedLines:      stats.SkippedLines,
+	}
+	res.buildIndex()
+	return res
+}
+
+// buildIndex (re)builds the O(1) lookup structures over groups and
+// opinions.
+func (r *Result) buildIndex() {
+	totalEntities := 0
+	for gi := range r.Groups {
+		totalEntities += len(r.Groups[gi].Entities)
+	}
+	r.index = make(map[opinionKey]*EntityOpinion, totalEntities)
+	r.groupIndex = make(map[evidence.GroupKey]*GroupResult, len(r.Groups))
+	for gi := range r.Groups {
+		g := &r.Groups[gi]
+		r.groupIndex[g.Key] = g
+		for i := range g.Entities {
+			r.index[opinionKey{g.Entities[i].Entity, g.Key.Property}] = &g.Entities[i]
+		}
+	}
+}

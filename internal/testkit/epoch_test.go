@@ -1,0 +1,244 @@
+package testkit
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/incremental"
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/pipeline"
+)
+
+// The differential epoch harness: the load-bearing proof that incremental
+// mining is bit-identical to batch. For any partition of the corpus into
+// epochs, the snapshot the miner publishes after the last epoch must equal
+// one batch run over the concatenation — evidence counters, group fits, EM
+// traces, opinions, statistics — for every epoch count and worker count,
+// including under chaos-injected quarantines.
+
+// TestEpochDifferential sweeps epoch counts × worker counts against one
+// batch oracle per seed (the batch result is worker-invariant, proven by
+// TestWorkerCountInvariance).
+func TestEpochDifferential(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		w := NewWorld(seed, diffScale)
+		docs := w.Docs()
+		batch := pipeline.Run(docs, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+		if len(batch.Groups) == 0 {
+			t.Fatalf("seed %d: batch modelled no groups — fixture too small", seed)
+		}
+		for _, epochs := range []int{1, 2, 5, 16} {
+			for _, workers := range []int{1, 2, 8} {
+				cfg := pipeline.Config{Rho: 10, Workers: workers}
+				final, stats, err := RunEpochs(SplitContiguous(docs, epochs), w.KB, w.Lex, cfg)
+				if err != nil {
+					t.Fatalf("seed %d epochs %d workers %d: %v", seed, epochs, workers, err)
+				}
+				if diffs := DiffResults(final, batch); len(diffs) > 0 {
+					t.Errorf("seed %d epochs %d workers %d: incremental diverges from batch:\n  %s",
+						seed, epochs, workers, strings.Join(diffs, "\n  "))
+				}
+				var total int
+				for _, st := range stats {
+					total += st.Documents
+				}
+				if total != len(docs) {
+					t.Errorf("seed %d epochs %d workers %d: epoch stats count %d documents, ingested %d",
+						seed, epochs, workers, total, len(docs))
+				}
+				if got := stats[len(stats)-1].ModelledGroups; got != len(batch.Groups) {
+					t.Errorf("seed %d epochs %d workers %d: final ModelledGroups %d, batch has %d",
+						seed, epochs, workers, got, len(batch.Groups))
+				}
+			}
+		}
+	}
+}
+
+// TestEpochPrefixConsistency drives deliberately uneven split points —
+// single-document epochs, an empty epoch (repeated cut), a giant middle —
+// and asserts the published snapshot after EVERY epoch equals a batch run
+// over the prefix ingested so far, not just after the last.
+func TestEpochPrefixConsistency(t *testing.T) {
+	w := NewWorld(3, diffScale)
+	docs := w.Docs()
+	cuts := []int{1, 1, 2, len(docs) / 2, len(docs) - 1}
+	epochs := SplitAt(docs, cuts...)
+
+	m := incremental.New(w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	ingested := 0
+	for i, epoch := range epochs {
+		if _, err := m.Ingest(context.Background(), epoch); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		ingested += len(epoch)
+		prefix := pipeline.Run(docs[:ingested], w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+		if diffs := DiffResults(m.Snapshot(), prefix); len(diffs) > 0 {
+			t.Errorf("after epoch %d (%d docs ingested): snapshot diverges from batch prefix:\n  %s",
+				i, ingested, strings.Join(diffs, "\n  "))
+		}
+	}
+	if ingested != len(docs) {
+		t.Fatalf("split covered %d of %d documents", ingested, len(docs))
+	}
+}
+
+// TestEpochChaosDifferential extends the quarantine-determinism contract
+// to the incremental path: with the seeded panic fault active, a document
+// quarantined in whatever epoch it lands in must leave the final snapshot
+// bit-identical to a batch run over the survivors, for every worker count
+// — and the quarantine records must carry global (concatenation) indices.
+func TestEpochChaosDifferential(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	kept, faulted := Partition(docs, chaosSeed, chaosRate)
+	if len(faulted) == 0 || len(faulted) == len(docs) {
+		t.Fatalf("selector picked %d of %d documents — useless fixture", len(faulted), len(docs))
+	}
+	clean := pipeline.Run(kept, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+
+	for _, workers := range []int{1, 2, 8} {
+		cfg := pipeline.Config{Rho: 10, Workers: workers, Fault: PanicFault(chaosSeed, chaosRate)}
+		final, stats, err := RunEpochs(SplitContiguous(docs, 5), w.KB, w.Lex, cfg)
+		if err != nil {
+			t.Fatalf("workers %d: fault injection must not fail an epoch: %v", workers, err)
+		}
+		if len(final.Quarantined) != len(faulted) {
+			t.Fatalf("workers %d: quarantined %d documents, selector picked %d",
+				workers, len(final.Quarantined), len(faulted))
+		}
+		for i, q := range final.Quarantined {
+			if q.Doc != faulted[i] {
+				t.Errorf("workers %d: quarantine %d is doc %d, want global index %d",
+					workers, i, q.Doc, faulted[i])
+			}
+			if !strings.Contains(q.Reason, "injected fault") {
+				t.Errorf("workers %d: quarantine reason %q does not name the fault", workers, q.Reason)
+			}
+		}
+		var quarantined int
+		for _, st := range stats {
+			quarantined += st.Quarantined
+		}
+		if quarantined != len(faulted) {
+			t.Errorf("workers %d: epoch stats count %d quarantined, selector picked %d",
+				workers, quarantined, len(faulted))
+		}
+		if diffs := DiffResults(stripQuarantine(final), clean); len(diffs) > 0 {
+			t.Errorf("workers %d: chaos-injected incremental run diverges from batch over survivors:\n  %s",
+				workers, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// uniformEpochWorld builds the proportionality fixture: nTypes synthetic
+// types of perType entities each — every (type, "cute") group has exactly
+// perType tuples, so the fraction of groups an epoch touches equals the
+// fraction of EM tuples it should re-fit. It returns the bulk corpus
+// (evidence for every type) and a trailing epoch touching only the first
+// type.
+func uniformEpochWorld(nTypes, perType int) (*World, []corpus.Document) {
+	b := kb.NewBuilder(7)
+	types := b.RandomDomains(nTypes, perType)
+	base := b.KB()
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	truth := func(e *kb.Entity, _ string) bool { return e.Attr("latent", 0) >= 0.5 }
+	specs := make([]corpus.Spec, len(types))
+	for i, typ := range types {
+		specs[i] = corpus.Spec{Type: typ, Property: "cute",
+			PA: 0.9, NpPlus: 12, NpMinus: 2, Truth: truth}
+	}
+	bulk := corpus.NewGenerator(base, specs, corpus.Config{Seed: 7, Scale: 1}).Generate()
+	trailing := corpus.NewGenerator(base, specs[:1], corpus.Config{Seed: 8, Scale: 0.3}).Generate()
+	return &World{KB: base, Lex: lex, Snapshot: bulk}, trailing.Documents
+}
+
+// TestEpochRefitProportional pins the point of being incremental: a
+// trailing epoch touching under 10% of the modelled groups must re-fit
+// under 10% of the EM tuples. (BenchmarkIncrementalRefit measures the
+// same proportionality as wall-clock; this is the schedule-free version.)
+// The fixture's groups are uniform in size, so the two fractions coincide
+// by construction and the assertion checks the miner, not the corpus.
+func TestEpochRefitProportional(t *testing.T) {
+	w, trailing := uniformEpochWorld(12, 10)
+	m := incremental.New(w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if _, err := m.Ingest(context.Background(), w.Docs()); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Snapshot(); len(st.Groups) != 12 {
+		t.Fatalf("bulk epoch modelled %d groups, want 12 — fixture drifted", len(st.Groups))
+	}
+	st, err := m.Ingest(context.Background(), trailing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	var totalTuples int64
+	for gi := range snap.Groups {
+		totalTuples += int64(len(snap.Groups[gi].Entities))
+	}
+	if st.RefitGroups == 0 || totalTuples == 0 {
+		t.Fatalf("vacuous fixture: refit %d groups, %d total tuples", st.RefitGroups, totalTuples)
+	}
+	if 10*st.RefitGroups > st.ModelledGroups {
+		t.Fatalf("trailing epoch touched %d of %d groups — fixture no longer sparse enough for the proportionality check",
+			st.RefitGroups, st.ModelledGroups)
+	}
+	if 10*st.RefitTuples > totalTuples {
+		t.Errorf("epoch touched %d/%d groups (<10%%) but re-fitted %d of %d tuples (>=10%%)",
+			st.RefitGroups, st.ModelledGroups, st.RefitTuples, totalTuples)
+	}
+	// The differential contract must hold on this fixture too.
+	all := append(append([]corpus.Document(nil), w.Docs()...), trailing...)
+	batch := pipeline.Run(all, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if diffs := DiffResults(snap, batch); len(diffs) > 0 {
+		t.Errorf("incremental diverges from batch on the uniform fixture:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+	t.Logf("trailing epoch: %d/%d groups, %d/%d tuples re-fitted",
+		st.RefitGroups, st.ModelledGroups, st.RefitTuples, totalTuples)
+}
+
+// TestEpochAtomicCancellation: a cancelled epoch must commit nothing — the
+// published snapshot, and the snapshot after re-ingesting the same batch
+// successfully, both match batch runs over what actually committed.
+func TestEpochAtomicCancellation(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	half := len(docs) / 2
+	m := incremental.New(w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if _, err := m.Ingest(context.Background(), docs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Snapshot()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Ingest(cancelled, docs[half:]); err == nil {
+		t.Fatal("ingest under a cancelled context reported success")
+	}
+	if m.Snapshot() != before {
+		t.Fatal("a cancelled epoch republished the snapshot")
+	}
+	if m.Epochs() != 1 {
+		t.Fatalf("a cancelled epoch was counted: %d epochs", m.Epochs())
+	}
+	prefix := pipeline.Run(docs[:half], w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if diffs := DiffResults(m.Snapshot(), prefix); len(diffs) > 0 {
+		t.Errorf("snapshot after cancelled epoch diverges from committed prefix:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+
+	// The same batch ingested again (uncancelled) completes the corpus.
+	if _, err := m.Ingest(context.Background(), docs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	batch := pipeline.Run(docs, w.KB, w.Lex, pipeline.Config{Rho: 10, Workers: 4})
+	if diffs := DiffResults(m.Snapshot(), batch); len(diffs) > 0 {
+		t.Errorf("retry after cancellation diverges from batch:\n  %s", strings.Join(diffs, "\n  "))
+	}
+}

@@ -290,6 +290,53 @@ func TestShardedExtractionMerge(t *testing.T) {
 	}
 }
 
+// TestEpochBoundaryInvariance: the incremental miner's final snapshot must
+// not depend on WHICH epoch a document lands in, only on the global
+// multiset of documents — the epoch-level sibling of document-permutation
+// invariance. Contiguous, round-robin, and shuffled assignments of the
+// same corpus into the same number of epochs must publish bit-identical
+// final snapshots.
+func TestEpochBoundaryInvariance(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	cfg := pipeline.Config{Rho: 10, Workers: 4}
+	const n = 4
+
+	base, _, err := RunEpochs(SplitContiguous(docs, n), w.KB, w.Lex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roundRobin := make([][]corpus.Document, n)
+	for i := range docs {
+		roundRobin[i%n] = append(roundRobin[i%n], docs[i])
+	}
+	res, _, err := RunEpochs(roundRobin, w.KB, w.Lex, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffResults(base, res); len(diffs) > 0 {
+		t.Errorf("round-robin epoch assignment changed the final snapshot:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+
+	rng := stats.NewRNG(41)
+	for trial := 0; trial < 2; trial++ {
+		shuffled := append([]corpus.Document(nil), docs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		res, _, err := RunEpochs(SplitContiguous(shuffled, n), w.KB, w.Lex, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := DiffResults(base, res); len(diffs) > 0 {
+			t.Errorf("trial %d: shuffled epoch assignment changed the final snapshot:\n  %s",
+				trial, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
 func approxEqual(a, b, relTol float64) bool {
 	if a == b {
 		return true

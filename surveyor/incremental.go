@@ -1,0 +1,92 @@
+package surveyor
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/incremental"
+)
+
+// IncrementalMiner mines a corpus epoch by epoch: each Ingest folds a new
+// document batch into the cumulative evidence, re-fits only the
+// (type, property) groups the batch touched, and publishes a refreshed
+// Result. The published Result after any sequence of epochs is
+// bit-identical to one Mine call over the concatenation of those epochs —
+// the differential epoch harness in internal/testkit proves it for
+// arbitrary splits, worker counts, and quarantined documents.
+type IncrementalMiner struct {
+	sys   *System
+	miner *incremental.Miner
+}
+
+// EpochStats reports one ingested epoch.
+type EpochStats struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// Documents counts documents committed this epoch; Quarantined counts
+	// documents removed by the panic boundary.
+	Documents   int
+	Quarantined int
+	// Statements counts evidence statements the epoch added.
+	Statements int64
+	// DirtyGroups counts (type, property) groups the epoch's evidence
+	// touched; RefitGroups of them were modelled (at or above ρ) and
+	// re-fitted, over RefitTuples entity tuples. ModelledGroups is the
+	// total after the splice — RefitGroups/ModelledGroups is the fraction
+	// of modelling work the epoch actually redid.
+	DirtyGroups    int
+	RefitGroups    int
+	RefitTuples    int64
+	ModelledGroups int
+	// Duration is wall-clock epoch latency (outside the determinism
+	// contract, like Stats timings).
+	Duration time.Duration
+}
+
+func fromInternalEpoch(st incremental.EpochStats) EpochStats {
+	return EpochStats{
+		Epoch:          st.Epoch,
+		Documents:      st.Documents,
+		Quarantined:    st.Quarantined,
+		Statements:     st.Statements,
+		DirtyGroups:    st.DirtyGroups,
+		RefitGroups:    st.RefitGroups,
+		RefitTuples:    st.RefitTuples,
+		ModelledGroups: st.ModelledGroups,
+		Duration:       st.Duration,
+	}
+}
+
+// MineIncremental starts an always-on incremental mining session over the
+// system's knowledge base. The returned miner is ready immediately; its
+// Snapshot before any epoch is an empty result.
+func (s *System) MineIncremental(cfg Config) *IncrementalMiner {
+	s.registerPending()
+	return &IncrementalMiner{
+		sys:   s,
+		miner: incremental.New(s.kb, s.lex, s.pipelineConfig(cfg)),
+	}
+}
+
+// Epoch ingests one document batch and publishes the refreshed snapshot.
+// Epochs are atomic: on error (cancellation mid-epoch) nothing is
+// committed and the previously published snapshot stands.
+func (m *IncrementalMiner) Epoch(ctx context.Context, docs []Document) (EpochStats, error) {
+	internalDocs := make([]corpus.Document, len(docs))
+	for i, d := range docs {
+		internalDocs[i] = corpus.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
+	}
+	st, err := m.miner.Ingest(ctx, internalDocs)
+	return fromInternalEpoch(st), err
+}
+
+// Snapshot returns the current published mining result — the complete,
+// batch-identical result over every document ingested so far. Safe to
+// call concurrently with Epoch; it never blocks on an ingest in progress.
+func (m *IncrementalMiner) Snapshot() *Result {
+	return &Result{sys: m.sys, res: m.miner.Snapshot()}
+}
+
+// Epochs returns the number of epochs ingested so far.
+func (m *IncrementalMiner) Epochs() int { return m.miner.Epochs() }
