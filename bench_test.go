@@ -7,11 +7,13 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/dist"
 	"repro/internal/evidence"
 	"repro/internal/experiments"
 	"repro/internal/extract"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/stats"
 	"repro/internal/tagger"
+	"repro/internal/wire"
 )
 
 // benchScale keeps the experiment benchmarks fast enough to iterate on
@@ -629,6 +632,79 @@ func BenchmarkStoreMergeThroughput(b *testing.B) {
 			b.Fatal("merge produced nothing")
 		}
 	}
+}
+
+// BenchmarkWireCodec measures the evidence wire codec on a run-shaped
+// store: frame encode (snapshot + varint body + checksum) and validated
+// decode. Throughput is reported against the encoded byte volume — the
+// number that bounds what the distributed coordinator can absorb.
+func BenchmarkWireCodec(b *testing.B) {
+	base := kb.Default(1)
+	s := benchEvidenceStore(base, 17, 200_000)
+	var frame bytes.Buffer
+	if _, err := wire.EncodeStore(&frame, s); err != nil {
+		b.Fatal(err)
+	}
+	encoded := frame.Bytes()
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if _, err := wire.EncodeStore(&buf, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			st, _, err := wire.DecodeStore(bytes.NewReader(encoded))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Len() != s.Len() {
+				b.Fatal("decode lost entries")
+			}
+		}
+	})
+}
+
+// BenchmarkDistributedMine measures the multi-process scale-out against
+// its own single-worker baseline: N workers, each a single-threaded
+// in-process worker speaking the real wire protocol (LocalTransport, so
+// the codec and coordination costs are included but fork/exec noise is
+// not). The N4/N1 time ratio is the distribution speedup on the
+// extraction-dominated pipeline.
+func BenchmarkDistributedMine(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 2, Scale: benchScale}).Generate()
+	workerCfg := pipeline.Config{Rho: int64(40 * benchScale), Workers: 1}
+	run := func(b *testing.B, shards int) {
+		b.Helper()
+		cfg := dist.Config{
+			Shards:    shards,
+			Transport: &dist.LocalTransport{Base: base, Lex: lex, Pipeline: workerCfg},
+			Pipeline:  workerCfg,
+		}
+		for i := 0; i < b.N; i++ {
+			res, failed, err := dist.Mine(context.Background(), snap.Documents, base, cfg)
+			if err != nil || len(failed) != 0 {
+				b.Fatalf("err=%v failed=%v", err, failed)
+			}
+			if res.TotalStatements == 0 {
+				b.Fatal("no statements")
+			}
+		}
+		b.ReportMetric(float64(len(snap.Documents)), "docs/run")
+	}
+	b.Run("N1", func(b *testing.B) { run(b, 1) })
+	b.Run("N4", func(b *testing.B) { run(b, 4) })
 }
 
 // BenchmarkAnnotationLayer measures the annotate-once architecture: the

@@ -25,7 +25,7 @@ import (
 // defaultBench is the fast, low-variance subset: the end-to-end pipeline,
 // the NLP front end, and the hot inner loops. The table/figure
 // reproduction benches are excluded — they are experiments, not gates.
-const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput|ObsOverhead|IncrementalRefit"
+const defaultBench = "PipelinePhases|ExtractionThroughput|Tokenize$|^BenchmarkParse$|Posterior$|EvidenceStoreAdd|GroupingThroughput|StoreMergeThroughput|ObsOverhead|IncrementalRefit|WireCodec|DistributedMine"
 
 // obsTolerance caps how much the observability layer may slow the
 // pipeline when a sink is attached: ObsOverhead/on is gated against
@@ -41,6 +41,8 @@ var allocGated = map[string]bool{
 	"PipelinePhases":       true,
 	"Tokenize":             true,
 	"ExtractionThroughput": true,
+	"WireCodec/encode":     true,
+	"WireCodec/decode":     true,
 }
 
 // Sample is one benchmark's recorded performance.
@@ -204,6 +206,17 @@ func derive(samples map[string]Sample) {
 		if docs := s.Metrics["docs/run"]; docs > 0 {
 			s.Metrics["docs/sec"] = docs * 1e9 / s.NsOp
 			samples["PipelinePhases"] = s
+		}
+	}
+	// Distribution speedup: the N1/N4 wall-clock ratio of the distributed
+	// miner. ~1 on a single-core runner; ≥2 expected with 4 idle cores.
+	if n1, ok1 := samples["DistributedMine/N1"]; ok1 {
+		if n4, ok4 := samples["DistributedMine/N4"]; ok4 && n4.NsOp > 0 {
+			if n4.Metrics == nil {
+				n4.Metrics = map[string]float64{}
+			}
+			n4.Metrics["speedup-vs-1proc"] = n1.NsOp / n4.NsOp
+			samples["DistributedMine/N4"] = n4
 		}
 	}
 }

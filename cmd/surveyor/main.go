@@ -5,7 +5,7 @@
 // Usage:
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
-//	         [-stream] [-lenient] [-epochs N]
+//	         [-stream] [-lenient] [-epochs N] [-distribute N]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	         [-debug-addr ADDR] [-linger DUR] [-report FILE]
 //
@@ -19,6 +19,13 @@
 // stderr. The final output is bit-identical to the default batch run —
 // the whole point of the incremental engine. Incompatible with -stream
 // (which has its own batching).
+//
+// -distribute N mines the corpus with N worker processes, each re-executing
+// this binary in a hidden worker mode and extracting evidence from one
+// contiguous corpus shard; the coordinator merges the shipped evidence
+// deltas and models the union once. Output is bit-identical to the
+// single-process run. A crashed worker costs only its shard (reported on
+// stderr); the run continues. Incompatible with -stream and -epochs.
 //
 // SIGINT/SIGTERM cancel the run at document granularity: the documents
 // processed so far are still grouped and modelled, the partial statistics
@@ -40,6 +47,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -65,6 +73,8 @@ func run() int {
 	stream := flag.Bool("stream", false, "stream the corpus through the pipeline in bounded memory (requires -in)")
 	lenient := flag.Bool("lenient", false, "skip and count malformed or oversized corpus lines instead of aborting")
 	epochs := flag.Int("epochs", 0, "replay the corpus through the incremental miner in N contiguous epochs (0 = one batch run)")
+	distribute := flag.Int("distribute", 0, "mine with N worker processes, one corpus shard each (0 = single process)")
+	distWorker := flag.Bool("dist-worker", false, "serve one distributed-mining shard on stdin/stdout (internal; launched by -distribute)")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -109,6 +119,24 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	// Hidden worker mode: serve one distributed-mining shard on
+	// stdin/stdout and exit. A terminal SIGINT reaches the whole process
+	// group, so the worker's context cancels alongside the coordinator's;
+	// the all-or-nothing shard commit turns that into a cleanly lost shard.
+	if *distWorker {
+		err := surveyor.NewSystemWithBuiltinKB(*seed).ServeWorker(ctx, os.Stdin, os.Stdout,
+			surveyor.Config{Workers: *workers, PatternVersion: *version})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if *distribute > 0 && (*stream || *epochs > 0) {
+		fmt.Fprintln(os.Stderr, "-distribute shards the in-memory corpus; it cannot be combined with -stream or -epochs")
+		return 1
+	}
+
 	if *stream && *in == "" {
 		fmt.Fprintln(os.Stderr, "-stream requires -in (the demo snapshot is generated in memory)")
 		return 1
@@ -124,6 +152,22 @@ func run() int {
 		PatternVersion: *version,
 		Workers:        *workers,
 		Obs:            o,
+	}
+
+	// The distributed coordinator re-executes this binary in worker mode;
+	// the worker flags reconstruct the same knowledge base and extraction
+	// configuration.
+	var workerCmd []string
+	if *distribute > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		workerCmd = []string{exe, "-dist-worker",
+			"-seed", strconv.FormatUint(*seed, 10),
+			"-version", strconv.Itoa(*version),
+			"-workers", strconv.Itoa(*workers)}
 	}
 
 	var res *surveyor.Result
@@ -158,7 +202,7 @@ func run() int {
 		if loadSkipped = it.Stats().Skipped(); loadSkipped > 0 {
 			fmt.Fprintf(os.Stderr, "skipped %d malformed or oversized corpus lines\n", loadSkipped)
 		}
-		res, mineErr = mine(ctx, sys, docs, cfg, *epochs)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, *distribute, workerCmd)
 	default:
 		var docs []surveyor.Document
 		base := kb.Default(*seed)
@@ -168,7 +212,7 @@ func run() int {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
 		}
 		fmt.Fprintf(os.Stderr, "generated demo snapshot: %d documents\n", len(docs))
-		res, mineErr = mine(ctx, sys, docs, cfg, *epochs)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, *distribute, workerCmd)
 	}
 	stopSignals()
 
@@ -240,12 +284,22 @@ func run() int {
 	return exit
 }
 
-// mine runs an in-memory corpus either as one batch (epochs <= 1 behaves
-// like plain MineContext, except epochs == 1 exercises the incremental
-// path with a single epoch) or through the incremental miner in epochs
-// contiguous epochs, printing per-epoch stats. The two paths produce
+// mine runs an in-memory corpus as one batch (the default), across
+// distribute worker processes, or through the incremental miner in epochs
+// contiguous epochs (printing per-epoch stats). All paths produce
 // bit-identical results.
-func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, cfg surveyor.Config, epochs int) (*surveyor.Result, error) {
+func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, cfg surveyor.Config, epochs, distribute int, workerCmd []string) (*surveyor.Result, error) {
+	if distribute > 0 {
+		res, failures, err := sys.MineDistributed(ctx, docs, surveyor.DistributedOptions{
+			Workers: distribute,
+			Command: workerCmd,
+			Stderr:  os.Stderr,
+		}, cfg)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "shard %d lost (%d docs): %v\n", f.Shard, f.Docs, f.Err)
+		}
+		return res, err
+	}
 	if epochs <= 0 {
 		return sys.MineContext(ctx, docs, cfg)
 	}

@@ -16,6 +16,8 @@ var determinism = []string{
 	"internal/evidence",
 	"internal/testkit",
 	"internal/annotate",
+	"internal/wire",
+	"internal/dist",
 }
 
 // hotPath lists the packages on the ~90k docs/sec extraction path, where

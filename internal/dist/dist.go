@@ -1,0 +1,190 @@
+// Package dist is the multi-process scale-out of the miner: a
+// coordinator that splits the corpus into contiguous shards, ships each
+// to a worker over the wire protocol in proto.go, merges the returned
+// evidence deltas through evidence.Store.Merge in deterministic shard
+// order, and runs grouping+EM once over the union. Because Merge is
+// commutative and associative (the PR 1 algebra suite) and the reduce
+// step reuses the batch pipeline's finishRun phases verbatim
+// (pipeline.ReduceStore), a distributed run is bit-identical to a
+// single-process run over the same corpus — the testkit differential
+// suite proves it for worker counts {1, 2, 4, 8}, with and without
+// injected worker crashes.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/kb"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Config configures a distributed mining run.
+type Config struct {
+	// Shards is the number of workers to launch; each receives one
+	// contiguous corpus shard. Zero or negative means 1.
+	Shards int
+	// Transport launches the workers (ProcTransport for real child
+	// processes, LocalTransport for in-process goroutine workers).
+	Transport Transport
+	// Pipeline is the coordinator-side pipeline config: Rho and EM drive
+	// the reduce step, Obs receives the run's telemetry. Worker-side
+	// extraction settings (Version, threads per worker, Fault) live on the
+	// transport's worker, not here.
+	Pipeline pipeline.Config
+}
+
+// ShardError reports one shard whose worker failed — crashed, was
+// killed, spoke a broken protocol, or was cancelled. The run's result
+// excludes exactly that shard's documents.
+type ShardError struct {
+	// Shard is the failed shard's index.
+	Shard int
+	// Docs is the number of corpus documents the shard covered (and the
+	// partial result is therefore missing).
+	Docs int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("dist: shard %d (%d docs): %v", e.Shard, e.Docs, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Mine runs the distributed map-reduce pipeline over docs: split into
+// cfg.Shards contiguous shards (the same len*i/N arithmetic as the
+// incremental miner's epoch split, so concatenated per-shard quarantine
+// lists are globally sorted), mine every shard concurrently through the
+// transport, merge the shipped evidence deltas in shard order, and
+// reduce once.
+//
+// Failed shards degrade rather than abort the run: their documents are
+// simply absent from the result — the all-or-nothing shard commit in the
+// protocol guarantees a lost worker contributed nothing — and each
+// failure is reported as a ShardError. The returned error is non-nil
+// only when the context was cancelled (ctx.Err(), alongside the partial
+// result) or when every shard failed.
+func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) (*pipeline.Result, []ShardError, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	o := cfg.Pipeline.Obs
+	do := o.Dist()
+	o.StartRun(len(docs), shards)
+	total := o.Phase("run")
+
+	// Map: launch every shard concurrently. Each slot is owned by exactly
+	// one goroutine, so the outcomes slice needs no lock.
+	type outcome struct {
+		res *ShardResult
+		err error
+	}
+	outcomes := make([]outcome, shards)
+	lo := make([]int, shards+1)
+	for s := 0; s <= shards; s++ {
+		lo[s] = len(docs) * s / shards
+	}
+	extract := o.Phase("extract")
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			res, err := runShard(ctx, cfg.Transport, s, lo[s], docs[lo[s]:lo[s+1]], do)
+			outcomes[s] = outcome{res: res, err: err}
+		}(s)
+	}
+	wg.Wait()
+	extractDur := extract.End()
+
+	// Reduce, part 1: fold the shipped deltas in shard order. Merge is
+	// order-insensitive, but a fixed order keeps the schedule out of the
+	// telemetry and mirrors the single-process worker flush.
+	store := evidence.NewStore()
+	var failed []ShardError
+	var sentences int64
+	var quarantined []pipeline.Quarantined
+	documents := 0
+	for s := 0; s < shards; s++ {
+		oc := outcomes[s]
+		if oc.err != nil {
+			do.ShardsFailed.Inc()
+			failed = append(failed, ShardError{Shard: s, Docs: lo[s+1] - lo[s], Err: oc.err})
+			continue
+		}
+		merge := o.Phase("merge")
+		store.Merge(oc.res.Store)
+		do.ShardMergeMillis.Observe(float64(merge.End()) / float64(time.Millisecond))
+		do.ShardsShipped.Inc()
+		sentences += oc.res.Sentences
+		quarantined = append(quarantined, oc.res.Quarantined...)
+		documents += oc.res.Consumed - len(oc.res.Quarantined)
+	}
+
+	// Reduce, part 2: grouping + EM + index, bit-identical to the batch
+	// finishRun over the same store.
+	res := pipeline.ReduceStore(store, base, cfg.Pipeline, pipeline.ReduceStats{
+		Sentences:   sentences,
+		Documents:   documents,
+		Quarantined: quarantined,
+	})
+	res.Timings.Extraction = extractDur
+	res.Timings.Total = total.End()
+	o.EndRun()
+
+	if err := ctx.Err(); err != nil {
+		return res, failed, err
+	}
+	if len(failed) == shards && shards > 0 && len(docs) > 0 {
+		return res, failed, fmt.Errorf("dist: all %d shards failed: %w", shards, failed[0].Err)
+	}
+	return res, failed, nil
+}
+
+// runShard drives one worker through the protocol: launch, write the job
+// frame, close the job stream, read the result frames, wait for exit.
+func runShard(ctx context.Context, t Transport, shard, docOffset int, docs []corpus.Document, do *obs.DistObs) (*ShardResult, error) {
+	if t == nil {
+		return nil, fmt.Errorf("dist: shard %d: nil transport", shard)
+	}
+	conn, err := t.Start(ctx, shard)
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %d start: %w", shard, err)
+	}
+	wn, err := WriteJob(conn.In(), &Job{Shard: shard, DocOffset: docOffset, Docs: docs})
+	do.WireBytesEncoded.Add(wn)
+	if cerr := conn.In().Close(); err == nil {
+		err = cerr
+	}
+	var res *ShardResult
+	if err == nil {
+		var rn int64
+		res, rn, err = ReadShardResult(conn.Out())
+		do.WireBytesDecoded.Add(rn)
+	}
+	if err != nil {
+		conn.Kill()
+		if waitErr := conn.Wait(); waitErr != nil && waitErr != err {
+			return nil, fmt.Errorf("dist: shard %d: %w (worker: %v)", shard, err, waitErr)
+		}
+		return nil, fmt.Errorf("dist: shard %d: %w", shard, err)
+	}
+	if waitErr := conn.Wait(); waitErr != nil {
+		return nil, fmt.Errorf("dist: shard %d worker exit: %w", shard, waitErr)
+	}
+	if res.Shard != shard {
+		return nil, fmt.Errorf("dist: shard %d: worker answered for shard %d", shard, res.Shard)
+	}
+	if res.Consumed > len(docs) {
+		return nil, fmt.Errorf("dist: shard %d: consumed %d of %d documents", shard, res.Consumed, len(docs))
+	}
+	return res, nil
+}

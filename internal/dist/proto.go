@@ -1,0 +1,206 @@
+// Wire protocol of the distributed miner. Two message types flow over a
+// worker's pipe pair, both built from the internal/wire frame primitives
+// (magic + version + length + body + FNV-1a checksum, all integers
+// varints):
+//
+//	coordinator → worker   job frame "SVJB": shard, docOffset, docCount,
+//	                       then ⟨url, domain, author, text⟩ per document
+//	worker → coordinator   result header frame "SVSR": shard, consumed,
+//	                       sentences, quarantine count, ⟨doc, reason⟩
+//	                       per record — followed by one store frame
+//	                       "SVWS" (the evidence delta, wire.EncodeStore)
+//
+// Protocol state machine (one worker):
+//
+//	IDLE --job frame--> MINING --result+store frames, exit 0--> DONE
+//	                      |  \-- crash / kill ----------------> LOST
+//	                      \---- ctx cancelled, exit nonzero --> LOST
+//
+// A LOST worker never writes a partial result: the result frames are
+// written only after extraction completes, so the coordinator either
+// receives a complete, checksummed shard delta or a read error — never a
+// torn one. That all-or-nothing shard commit is what makes the partial
+// result after a crash exactly the batch result minus the lost shard's
+// documents.
+package dist
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/evidence"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Frame magics of the coordinator/worker protocol.
+const (
+	jobMagic    = "SVJB"
+	resultMagic = "SVSR"
+)
+
+// maxDocBytes caps one document's text in a job frame — generous next to
+// the corpus reader's 4 MiB line cap, tight next to the 1 GiB frame
+// bound.
+const maxDocBytes = 1 << 26
+
+// Job is the coordinator→worker shard assignment: a contiguous document
+// range and the global index of its first document, so every index the
+// worker reports (quarantine records above all) is already corpus-global.
+type Job struct {
+	Shard     int
+	DocOffset int
+	Docs      []corpus.Document
+}
+
+// WriteJob writes one job frame and returns the bytes written.
+func WriteJob(w io.Writer, job *Job) (int64, error) {
+	size := 32
+	for i := range job.Docs {
+		size += 24 + len(job.Docs[i].URL) + len(job.Docs[i].Domain) + len(job.Docs[i].Text)
+	}
+	e := wire.NewEncoder(size)
+	e.Uvarint(uint64(job.Shard))
+	e.Uvarint(uint64(job.DocOffset))
+	e.Uvarint(uint64(len(job.Docs)))
+	for i := range job.Docs {
+		d := &job.Docs[i]
+		e.String(d.URL)
+		e.String(d.Domain)
+		e.Uvarint(uint64(d.Author))
+		e.String(d.Text)
+	}
+	return wire.WriteFrame(w, jobMagic, e.Bytes())
+}
+
+// ReadJob reads one job frame, validating every length and count before
+// allocating for it.
+func ReadJob(r io.Reader) (*Job, int64, error) {
+	body, n, err := wire.ReadFrame(r, jobMagic)
+	if err != nil {
+		return nil, n, err
+	}
+	d := wire.NewDecoder(body)
+	job := &Job{}
+	shard := d.Uvarint()
+	offset := d.Uvarint()
+	count := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, n, err
+	}
+	if shard > math.MaxInt32 || offset > math.MaxInt32 {
+		return nil, n, fmt.Errorf("dist: implausible shard %d / offset %d", shard, offset)
+	}
+	// Each document costs at least four bytes (three length prefixes and
+	// an author varint), so the body bounds the plausible count.
+	if count > uint64(d.Remaining())/4+1 {
+		return nil, n, fmt.Errorf("dist: document count %d exceeds body capacity %d", count, d.Remaining())
+	}
+	job.Shard, job.DocOffset = int(shard), int(offset)
+	job.Docs = make([]corpus.Document, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var doc corpus.Document
+		doc.URL = d.String()
+		doc.Domain = d.String()
+		author := d.Uvarint()
+		doc.Text = d.StringMax(maxDocBytes)
+		if err := d.Err(); err != nil {
+			return nil, n, fmt.Errorf("dist: job document %d: %w", i, err)
+		}
+		if author > math.MaxInt32 {
+			return nil, n, fmt.Errorf("dist: job document %d: implausible author %d", i, author)
+		}
+		doc.Author = int(author)
+		job.Docs = append(job.Docs, doc)
+	}
+	if d.Remaining() != 0 {
+		return nil, n, fmt.Errorf("dist: %d trailing bytes after %d job documents", d.Remaining(), count)
+	}
+	return job, n, nil
+}
+
+// ShardResult is the worker→coordinator evidence delta plus the shard's
+// input-side metadata. Quarantined documents carry corpus-global indices
+// (the job's DocOffset threaded through pipeline.ExtractEvidence).
+type ShardResult struct {
+	Shard       int
+	Consumed    int
+	Sentences   int64
+	Quarantined []pipeline.Quarantined
+	// Store is the shard's evidence delta.
+	Store *evidence.Store
+}
+
+// WriteShardResult writes the result header frame followed by the store
+// frame. Returns the total bytes written. Nothing is written until both
+// encodings are complete in memory, so a cancelled worker never emits a
+// torn message.
+func WriteShardResult(w io.Writer, res *ShardResult) (int64, error) {
+	e := wire.NewEncoder(64 + 32*len(res.Quarantined))
+	e.Uvarint(uint64(res.Shard))
+	e.Uvarint(uint64(res.Consumed))
+	e.Uvarint(uint64(res.Sentences))
+	e.Uvarint(uint64(len(res.Quarantined)))
+	for _, q := range res.Quarantined {
+		e.Uvarint(uint64(q.Doc))
+		e.String(q.Reason)
+	}
+	n, err := wire.WriteFrame(w, resultMagic, e.Bytes())
+	if err != nil {
+		return n, err
+	}
+	m, err := wire.EncodeStore(w, res.Store)
+	return n + m, err
+}
+
+// ReadShardResult reads one result header frame and its store frame.
+func ReadShardResult(r io.Reader) (*ShardResult, int64, error) {
+	body, n, err := wire.ReadFrame(r, resultMagic)
+	if err != nil {
+		return nil, n, err
+	}
+	d := wire.NewDecoder(body)
+	res := &ShardResult{}
+	shard := d.Uvarint()
+	consumed := d.Uvarint()
+	sentences := d.Uvarint()
+	qcount := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, n, err
+	}
+	if shard > math.MaxInt32 || consumed > math.MaxInt32 || sentences > math.MaxInt64 {
+		return nil, n, fmt.Errorf("dist: implausible result header (shard %d, consumed %d)", shard, consumed)
+	}
+	// A quarantine record is at least two bytes (doc varint + empty
+	// reason's length prefix).
+	if qcount > uint64(d.Remaining())/2+1 {
+		return nil, n, fmt.Errorf("dist: quarantine count %d exceeds body capacity %d", qcount, d.Remaining())
+	}
+	res.Shard, res.Consumed, res.Sentences = int(shard), int(consumed), int64(sentences)
+	if qcount > 0 {
+		res.Quarantined = make([]pipeline.Quarantined, 0, qcount)
+	}
+	for i := uint64(0); i < qcount; i++ {
+		doc := d.Uvarint()
+		reason := d.String()
+		if err := d.Err(); err != nil {
+			return nil, n, fmt.Errorf("dist: quarantine record %d: %w", i, err)
+		}
+		if doc > math.MaxInt32 {
+			return nil, n, fmt.Errorf("dist: quarantine record %d: implausible document %d", i, doc)
+		}
+		res.Quarantined = append(res.Quarantined, pipeline.Quarantined{Doc: int(doc), Reason: reason})
+	}
+	if d.Remaining() != 0 {
+		return nil, n, fmt.Errorf("dist: %d trailing bytes in result header", d.Remaining())
+	}
+	store, m, err := wire.DecodeStore(r)
+	n += m
+	if err != nil {
+		return nil, n, fmt.Errorf("dist: shard %d store frame: %w", res.Shard, err)
+	}
+	res.Store = store
+	return res, n, nil
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/pipeline"
+)
+
+// Transport launches one worker per shard and exposes its pipe pair. Two
+// implementations ship: ProcTransport (real child processes over
+// stdin/stdout, what `surveyor -distribute` uses) and LocalTransport
+// (in-process workers over in-memory pipes, what the race-enabled
+// differential suites and the benchmarks use — same protocol bytes, no
+// fork/exec noise).
+type Transport interface {
+	Start(ctx context.Context, shard int) (Conn, error)
+}
+
+// Conn is one launched worker's endpoint from the coordinator's side.
+type Conn interface {
+	// In is the coordinator→worker stream (the worker's stdin). The
+	// coordinator writes one job frame and closes it.
+	In() io.WriteCloser
+	// Out is the worker→coordinator stream (the worker's stdout).
+	Out() io.Reader
+	// Wait blocks until the worker exits and returns its terminal error
+	// (nil for a clean exit). Call after Out is drained.
+	Wait() error
+	// Kill tears the worker down without waiting for a clean exit.
+	Kill()
+}
+
+// --- child processes -------------------------------------------------------
+
+// ProcTransport launches each worker as a child process. The command must
+// speak the worker protocol on stdin/stdout (cmd/surveyor's hidden
+// -dist-worker mode does); stderr passes through to Stderr for
+// debuggability.
+type ProcTransport struct {
+	// Path is the worker executable.
+	Path string
+	// Args are the worker's command-line arguments.
+	Args []string
+	// Stderr receives the workers' stderr streams (nil discards them).
+	Stderr io.Writer
+}
+
+// Start implements Transport.
+func (t *ProcTransport) Start(ctx context.Context, shard int) (Conn, error) {
+	cmd := exec.CommandContext(ctx, t.Path, t.Args...)
+	cmd.Stderr = t.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %d stdin: %w", shard, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %d stdout: %w", shard, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: shard %d start: %w", shard, err)
+	}
+	return &procConn{cmd: cmd, in: stdin, out: stdout}, nil
+}
+
+type procConn struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out io.Reader
+}
+
+func (c *procConn) In() io.WriteCloser { return c.in }
+func (c *procConn) Out() io.Reader     { return c.out }
+func (c *procConn) Wait() error        { return c.cmd.Wait() }
+func (c *procConn) Kill() {
+	if c.cmd.Process != nil {
+		c.cmd.Process.Kill()
+	}
+}
+
+// --- in-process workers ----------------------------------------------------
+
+// ErrInjectedCrash is the terminal error of a LocalTransport worker the
+// Crash hook selected — the in-process stand-in for a killed child
+// process: the output pipe breaks before any result frame is written.
+var ErrInjectedCrash = errors.New("dist: injected worker crash")
+
+// LocalTransport runs each worker as a goroutine speaking the real
+// protocol over in-memory pipes. Used by the differential suites (every
+// schedule runs under the race detector) and by BenchmarkDistributedMine
+// (process-free, so the codec and coordination costs are measured without
+// fork/exec noise).
+type LocalTransport struct {
+	// Base and Lex are the worker-side knowledge base and lexicon — the
+	// same immutable structures every worker process would build from the
+	// shared seed.
+	Base *kb.KB
+	Lex  *lexicon.Lexicon
+	// Pipeline is the worker-side extraction config (Version, Workers as
+	// threads per worker, Fault for chaos injection, Obs).
+	Pipeline pipeline.Config
+	// Crash, when non-nil, selects shards whose worker dies before
+	// shipping its result — deterministic chaos for the crash-differential
+	// suite. The worker still consumes its job, then breaks the pipe.
+	Crash func(shard int) bool
+}
+
+// Start implements Transport.
+func (t *LocalTransport) Start(ctx context.Context, shard int) (Conn, error) {
+	jobR, jobW := io.Pipe()
+	resR, resW := io.Pipe()
+	c := &localConn{in: jobW, out: resR, done: make(chan error, 1)}
+	go func() {
+		err := t.serve(ctx, shard, jobR, resW)
+		// Break both pipe ends with the terminal error so a blocked
+		// coordinator read fails like a closed stdout would.
+		resW.CloseWithError(err)
+		jobR.CloseWithError(err)
+		c.done <- err
+	}()
+	return c, nil
+}
+
+// serve runs one worker: read job, mine, ship result — or crash.
+func (t *LocalTransport) serve(ctx context.Context, shard int, r io.Reader, w io.Writer) error {
+	if t.Crash != nil && t.Crash(shard) {
+		// Drain the job like a real worker that dies mid-mining, then
+		// break the pipe without writing a result frame.
+		if _, _, err := ReadJob(r); err != nil {
+			return err
+		}
+		return ErrInjectedCrash
+	}
+	return RunWorker(ctx, r, w, t.Base, t.Lex, t.Pipeline)
+}
+
+type localConn struct {
+	in   *io.PipeWriter
+	out  *io.PipeReader
+	done chan error
+}
+
+func (c *localConn) In() io.WriteCloser { return c.in }
+func (c *localConn) Out() io.Reader     { return c.out }
+func (c *localConn) Wait() error        { return <-c.done }
+func (c *localConn) Kill() {
+	c.in.CloseWithError(errors.New("dist: worker killed"))
+	c.out.CloseWithError(errors.New("dist: worker killed"))
+}

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/pipeline"
+)
+
+// RunWorker serves one worker's side of the protocol: read a job frame
+// from r, mine the shard's evidence with pipeline.ExtractEvidence (the
+// map step — the job's DocOffset threads through so every reported
+// document index is corpus-global), and ship the delta as a result frame
+// on w. cmd/surveyor's hidden -dist-worker mode calls this over
+// stdin/stdout; LocalTransport calls it over in-memory pipes.
+//
+// All-or-nothing shard commit: nothing is written to w until extraction
+// has completed, so a cancelled or crashed worker leaves the coordinator
+// with a read error instead of a torn or partial shard. A cancellation
+// mid-extraction returns ctx's error without shipping anything.
+func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config) error {
+	job, _, err := ReadJob(r)
+	if err != nil {
+		return fmt.Errorf("dist: worker read job: %w", err)
+	}
+	ext, err := pipeline.ExtractEvidence(ctx, job.Docs, base, lex, cfg, job.DocOffset)
+	if err != nil {
+		return fmt.Errorf("dist: worker shard %d: %w", job.Shard, err)
+	}
+	n, err := WriteShardResult(w, &ShardResult{
+		Shard:       job.Shard,
+		Consumed:    ext.Consumed,
+		Sentences:   ext.Sentences,
+		Quarantined: ext.Quarantined,
+		Store:       ext.Store,
+	})
+	if err != nil {
+		return fmt.Errorf("dist: worker shard %d write result: %w", job.Shard, err)
+	}
+	cfg.Obs.Dist().WireBytesEncoded.Add(n)
+	return nil
+}

@@ -1,0 +1,49 @@
+package obs
+
+// DistObs is the write-only counter set of the distributed miner
+// (internal/dist): shards shipped over the wire, wire-codec byte volume
+// in both directions, and the coordinator's per-shard merge latency.
+// Like every obs surface it is strictly write-only from the miner's
+// perspective — distributed runs with a live sink are bit-identical to
+// runs with a nil one.
+type DistObs struct {
+	// ShardsShipped counts shard evidence deltas received and committed by
+	// the coordinator.
+	ShardsShipped *Counter // surveyor_dist_shards_shipped_total
+	// ShardsFailed counts shards lost to worker crashes or protocol
+	// errors; /healthz-style monitors watch this next to quarantines.
+	ShardsFailed *Counter // surveyor_dist_shards_failed_total
+	// WireBytesEncoded and WireBytesDecoded count wire-codec traffic:
+	// job frames written to workers, result frames read back.
+	WireBytesEncoded *Counter // surveyor_wire_bytes_encoded_total
+	WireBytesDecoded *Counter // surveyor_wire_bytes_decoded_total
+	// ShardMergeMillis is the per-shard latency of folding one decoded
+	// evidence delta into the coordinator's cumulative store.
+	ShardMergeMillis *Histogram // surveyor_dist_shard_merge_ms
+}
+
+// defaultShardMergeBounds spans test-sized deltas (sub-millisecond) up to
+// merges of production-shard counter sets.
+var defaultShardMergeBounds = []float64{0.1, 0.5, 1, 5, 25, 100, 500, 2500}
+
+// Dist resolves the distributed miner's metric inventory on the RunObs
+// registry. With a nil RunObs or registry every handle is nil and
+// recording is free.
+func (o *RunObs) Dist() *DistObs {
+	var r *Registry
+	if o != nil {
+		r = o.Metrics
+	}
+	return &DistObs{
+		ShardsShipped: r.Counter("surveyor_dist_shards_shipped_total",
+			"shard evidence deltas merged by the coordinator"),
+		ShardsFailed: r.Counter("surveyor_dist_shards_failed_total",
+			"shards lost to worker crashes or protocol errors"),
+		WireBytesEncoded: r.Counter("surveyor_wire_bytes_encoded_total",
+			"wire-codec bytes encoded (job frames to workers)"),
+		WireBytesDecoded: r.Counter("surveyor_wire_bytes_decoded_total",
+			"wire-codec bytes decoded (result frames from workers)"),
+		ShardMergeMillis: r.Histogram("surveyor_dist_shard_merge_ms",
+			"per-shard evidence merge latency in milliseconds", defaultShardMergeBounds),
+	}
+}

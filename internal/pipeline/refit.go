@@ -212,6 +212,44 @@ func fitGroups(groups []evidence.Group, cfg Config) []GroupResult {
 	return out
 }
 
+// ReduceStats carries the input-side statistics a reduce-only run cannot
+// derive from the merged evidence store: committed documents, sentence
+// counts, and the (corpus-global) quarantine records of the map phase.
+type ReduceStats struct {
+	Sentences    int64
+	Documents    int
+	Quarantined  []Quarantined
+	SkippedLines int64
+}
+
+// ReduceStore runs the reduce half of the pipeline — grouping, EM, and
+// the lookup index, exactly the finishRun phases of a batch run — over an
+// externally merged evidence store. It is the coordinator's entry point
+// in the distributed miner (internal/dist): workers ship evidence deltas,
+// the coordinator merges them through Store.Merge in deterministic shard
+// order and hands the result here, so the reduce output is bit-identical
+// to a single-process run whose extraction committed the same store. The
+// caller owns run-lifecycle telemetry (obs StartRun/EndRun) and the
+// extraction/total timings.
+func ReduceStore(store *evidence.Store, base *kb.KB, cfg Config, stats ReduceStats) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		Store:           store,
+		TotalStatements: store.TotalStatements(),
+		DistinctPairs:   store.Len(),
+		Sentences:       stats.Sentences,
+		Documents:       stats.Documents,
+		Quarantined:     stats.Quarantined,
+		SkippedLines:    stats.SkippedLines,
+	}
+	pm := cfg.Obs.PipelineMetrics()
+	pm.Documents.Add(int64(res.Documents))
+	pm.Sentences.Add(res.Sentences)
+	pm.Statements.Add(res.TotalStatements)
+	finishRun(res, base, cfg)
+	return res
+}
+
 // ResultStats carries the corpus-level statistics of an assembled Result
 // — everything AssembleResult cannot derive from the groups alone.
 type ResultStats struct {

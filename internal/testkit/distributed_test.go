@@ -1,0 +1,224 @@
+package testkit
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dist"
+	"repro/internal/pipeline"
+)
+
+// distConfig builds the coordinator config for a LocalTransport run:
+// workers speak the real wire protocol over in-memory pipes, so every
+// schedule runs under the race detector.
+func distConfig(w *World, shards int, workerCfg, reduceCfg pipeline.Config, crash func(int) bool) dist.Config {
+	return dist.Config{
+		Shards: shards,
+		Transport: &dist.LocalTransport{
+			Base: w.KB, Lex: w.Lex, Pipeline: workerCfg, Crash: crash,
+		},
+		Pipeline: reduceCfg,
+	}
+}
+
+// shardRange returns the contiguous document range of one shard — the
+// same len*i/N arithmetic the coordinator uses.
+func shardRange(n, shard, shards int) (lo, hi int) {
+	return n * shard / shards, n * (shard + 1) / shards
+}
+
+// TestDistributedMatchesBatch is the tentpole differential proof of the
+// multi-process scale-out: for every worker count, a distributed run —
+// shard jobs encoded to wire frames, mined by independent workers,
+// evidence deltas shipped back, merged, and reduced once — must be
+// bit-identical to the single-process batch run: evidence counts, groups,
+// EM traces, opinions, statistics.
+func TestDistributedMatchesBatch(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		w := NewWorld(seed, diffScale)
+		cfg := pipeline.Config{Rho: 10, Workers: 2}
+		batch := pipeline.Run(w.Docs(), w.KB, w.Lex, cfg)
+		for _, shards := range []int{1, 2, 4, 8} {
+			res, failed, err := dist.Mine(context.Background(), w.Docs(), w.KB,
+				distConfig(w, shards, cfg, cfg, nil))
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if len(failed) != 0 {
+				t.Fatalf("seed %d shards %d: unexpected shard failures: %v", seed, shards, failed)
+			}
+			if diffs := DiffResults(batch, res); len(diffs) > 0 {
+				t.Errorf("seed %d shards %d: distributed run diverges from batch:\n  %s",
+					seed, shards, strings.Join(diffs, "\n  "))
+			}
+		}
+	}
+}
+
+// TestDistributedChaosMatchesBatch injects the content-selected panic
+// fault into every worker: the distributed run must agree bit for bit
+// with the batch run under the same fault — including the quarantine
+// records, whose document indices must be corpus-global on both sides
+// (the job's DocOffset threading). Composed with the existing
+// TestQuarantineDeterminism, this proves the distributed faulted run
+// equals a clean run over the corpus minus the fault set.
+func TestDistributedChaosMatchesBatch(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	_, faulted := Partition(docs, chaosSeed, chaosRate)
+	if len(faulted) == 0 {
+		t.Fatal("chaos selector picked no documents — useless fixture")
+	}
+	cfg := pipeline.Config{Rho: 10, Workers: 2, Fault: PanicFault(chaosSeed, chaosRate)}
+	batch := pipeline.Run(docs, w.KB, w.Lex, cfg)
+	if len(batch.Quarantined) != len(faulted) {
+		t.Fatalf("batch quarantined %d, selector picked %d", len(batch.Quarantined), len(faulted))
+	}
+	for _, shards := range []int{2, 4, 8} {
+		res, failed, err := dist.Mine(context.Background(), docs, w.KB,
+			distConfig(w, shards, cfg, cfg, nil))
+		if err != nil || len(failed) != 0 {
+			t.Fatalf("shards %d: err=%v failed=%v", shards, err, failed)
+		}
+		if diffs := DiffResults(batch, res); len(diffs) > 0 {
+			t.Errorf("shards %d: faulted distributed run diverges from faulted batch:\n  %s",
+				shards, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// TestDistributedCrashEqualsBatchMinusShard kills one worker per run (the
+// pipe breaks before any result frame — the in-process stand-in for a
+// SIGKILLed child). The partial result must be bit-identical to a batch
+// run over the corpus with exactly that shard's documents removed: the
+// all-or-nothing shard commit means a lost worker contributes nothing.
+func TestDistributedCrashEqualsBatchMinusShard(t *testing.T) {
+	w := NewWorld(2, diffScale)
+	docs := w.Docs()
+	cfg := pipeline.Config{Rho: 10, Workers: 2}
+	const shards = 4
+	for crashShard := 0; crashShard < shards; crashShard++ {
+		res, failed, err := dist.Mine(context.Background(), docs, w.KB,
+			distConfig(w, shards, cfg, cfg, func(s int) bool { return s == crashShard }))
+		if err != nil {
+			t.Fatalf("crash shard %d: one lost shard must degrade, not abort: %v", crashShard, err)
+		}
+		if len(failed) != 1 || failed[0].Shard != crashShard {
+			t.Fatalf("crash shard %d: failures %v", crashShard, failed)
+		}
+		if !errors.Is(&failed[0], dist.ErrInjectedCrash) {
+			t.Fatalf("crash shard %d: error %v does not unwrap to the injected crash",
+				crashShard, &failed[0])
+		}
+		lo, hi := shardRange(len(docs), crashShard, shards)
+		kept := append(append([]corpus.Document(nil), docs[:lo]...), docs[hi:]...)
+		batch := pipeline.Run(kept, w.KB, w.Lex, cfg)
+		if diffs := DiffResults(batch, res); len(diffs) > 0 {
+			t.Errorf("crash shard %d: partial result diverges from batch minus the shard:\n  %s",
+				crashShard, strings.Join(diffs, "\n  "))
+		}
+	}
+}
+
+// TestDistributedCancellation cancels the run from inside shard 1's
+// extraction (the SIGINT path at library level: the CLI's signal context
+// cancels coordinator and workers alike). Every shard must either commit
+// whole or fail whole — no torn shards — and the partial result must be
+// bit-identical to a batch run over exactly the committed shards'
+// documents.
+func TestDistributedCancellation(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	docs := w.Docs()
+	const shards = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	lo1, _ := shardRange(len(docs), 1, shards)
+	trigger := docs[lo1].Text
+	var fired atomic.Bool
+	workerCfg := pipeline.Config{Rho: 10, Workers: 1,
+		Fault: func(_ int, d *corpus.Document) {
+			if d.Text == trigger && !fired.Swap(true) {
+				cancel()
+			}
+		}}
+	reduceCfg := pipeline.Config{Rho: 10, Workers: 2}
+	res, failed, err := dist.Mine(ctx, docs, w.KB,
+		distConfig(w, shards, workerCfg, reduceCfg, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if !fired.Load() {
+		t.Fatal("cancellation trigger never fired")
+	}
+	if len(failed) == 0 {
+		t.Fatal("a cancelled run must lose at least the triggering shard")
+	}
+
+	lost := make(map[int]bool, len(failed))
+	for _, f := range failed {
+		lost[f.Shard] = true
+	}
+	var kept []corpus.Document
+	for s := 0; s < shards; s++ {
+		if lost[s] {
+			continue
+		}
+		lo, hi := shardRange(len(docs), s, shards)
+		kept = append(kept, docs[lo:hi]...)
+	}
+	batch := pipeline.Run(kept, w.KB, w.Lex, reduceCfg)
+	if diffs := DiffResults(batch, res); len(diffs) > 0 {
+		t.Errorf("cancelled partial diverges from batch over the committed shards:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+}
+
+// TestObsInvarianceDistributed extends the observability half of the
+// determinism contract to the distributed path: a coordinator and workers
+// with every sink live must produce a bit-identical result to a fully
+// silent run, and the distributed counters must actually record the run.
+func TestObsInvarianceDistributed(t *testing.T) {
+	w := NewWorld(1, diffScale)
+	cfg := pipeline.Config{Rho: 10, Workers: 2}
+	const shards = 4
+	plain, failed, err := dist.Mine(context.Background(), w.Docs(), w.KB,
+		distConfig(w, shards, cfg, cfg, nil))
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("silent run: err=%v failed=%v", err, failed)
+	}
+
+	workerCfg, reduceCfg := cfg, cfg
+	workerCfg.Obs = fullRunObs()
+	reduceCfg.Obs = fullRunObs()
+	observed, failed, err := dist.Mine(context.Background(), w.Docs(), w.KB,
+		distConfig(w, shards, workerCfg, reduceCfg, nil))
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("observed run: err=%v failed=%v", err, failed)
+	}
+	if diffs := DiffResults(plain, observed); len(diffs) > 0 {
+		t.Errorf("obs-on distributed run diverges from obs-off:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+
+	metrics := map[string]float64{}
+	for _, m := range reduceCfg.Obs.Metrics.Snapshot() {
+		metrics[m.Name] = m.Value
+	}
+	if got := metrics["surveyor_dist_shards_shipped_total"]; got != shards {
+		t.Errorf("shards_shipped = %v, want %d", got, shards)
+	}
+	if got := metrics["surveyor_dist_shards_failed_total"]; got != 0 {
+		t.Errorf("shards_failed = %v, want 0", got)
+	}
+	if metrics["surveyor_wire_bytes_encoded_total"] <= 0 {
+		t.Error("wire_bytes_encoded recorded nothing")
+	}
+	if metrics["surveyor_wire_bytes_decoded_total"] <= 0 {
+		t.Error("wire_bytes_decoded recorded nothing")
+	}
+}

@@ -1,0 +1,366 @@
+// Package wire is the binary wire format of the distributed miner: a
+// compact, length-prefixed, checksummed frame codec for evidence.Store
+// snapshots and the low-level primitives (varint encoder/decoder, framed
+// payloads) the coordinator/worker protocol of internal/dist builds its
+// messages from.
+//
+// Frame layout (all integers unsigned varints unless noted):
+//
+//	magic    4 bytes, per frame type ("SVWS" for a store snapshot)
+//	version  1 byte (currently 1)
+//	length   uvarint, byte length of body
+//	body     length bytes
+//	checksum 8 bytes little-endian, FNV-1a over body
+//
+// A store body is one uvarint entry count followed by that many entries,
+// each ⟨entity, propertyLen, propertyBytes, pos, neg⟩, emitted in the
+// deterministic Snapshot order (entity, then property) so encoding the
+// same store always yields the same bytes.
+//
+// Decoding applies the validated-decode lessons of the internal/annotate
+// codec: every length and count is bounds-checked before allocation, the
+// declared body length is capped (MaxFrameBytes) and read through an
+// allocation-bounded loop so a forged header cannot cost gigabytes, the
+// checksum is verified before any entry is parsed, and counter values
+// must fit in int64. Arbitrary input bytes therefore fail cleanly with an
+// error — never a panic, never an over-allocation. FuzzWireDecode holds
+// the package to that contract.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"repro/internal/evidence"
+	"repro/internal/kb"
+)
+
+// Format limits. They bound what a decoder will allocate on behalf of a
+// frame before its content has proven itself.
+const (
+	// Version is the wire-format version emitted by this package.
+	Version = 1
+	// MaxFrameBytes caps one frame body (1 GiB). Evidence snapshots are
+	// compact — the paper's 40TB crawl reduced to counters — so a larger
+	// declared length is corruption, not data.
+	MaxFrameBytes = 1 << 30
+	// MaxStringLen caps one length-prefixed string inside a body, matching
+	// the annotate codec's property bound.
+	MaxStringLen = 1 << 20
+	// initialAlloc caps what a decoder allocates before the declared
+	// length has been backed by actual bytes.
+	initialAlloc = 1 << 20
+)
+
+// StoreMagic marks an evidence-store snapshot frame.
+const StoreMagic = "SVWS"
+
+// ErrBadMagic reports a frame whose magic does not match the expected
+// frame type. Distinguished so protocol code can detect stream desync.
+var ErrBadMagic = errors.New("wire: bad frame magic")
+
+// ErrChecksum reports a frame whose body failed checksum validation.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// --- body encoder ----------------------------------------------------------
+
+// Encoder appends varint-encoded values to a byte slice — the body half
+// of a frame. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with a pre-sized buffer.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Uvarint appends one unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// String appends one length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes returns the encoded body. The slice aliases the encoder's
+// buffer; it is valid until the next append.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded body length so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// --- body decoder ----------------------------------------------------------
+
+// Decoder consumes varint-encoded values from a byte slice. The first
+// error sticks: every later read returns zero values.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over body.
+func NewDecoder(body []byte) *Decoder { return &Decoder{buf: body} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Uvarint consumes one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or malformed varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// String consumes one length-prefixed string, bounds-checked against
+// MaxStringLen and the remaining body.
+func (d *Decoder) String() string { return d.StringMax(MaxStringLen) }
+
+// StringMax consumes one length-prefixed string under an explicit length
+// cap, for fields (document text) whose legitimate size exceeds
+// MaxStringLen.
+func (d *Decoder) StringMax(max int) string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(max) {
+		d.fail("string length %d exceeds limit %d", n, max)
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("string length %d exceeds remaining body %d", n, d.Remaining())
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// --- framing ---------------------------------------------------------------
+
+// WriteFrame writes one framed body: magic, version byte, uvarint length,
+// body, FNV-1a checksum. Returns the total bytes written.
+func WriteFrame(w io.Writer, magic string, body []byte) (int64, error) {
+	if len(magic) != 4 {
+		return 0, fmt.Errorf("wire: frame magic %q must be 4 bytes", magic)
+	}
+	var hdr [4 + 1 + binary.MaxVarintLen64]byte
+	n := copy(hdr[:], magic)
+	hdr[n] = Version
+	n++
+	n += binary.PutUvarint(hdr[n:], uint64(len(body)))
+	written := int64(0)
+	for _, chunk := range [][]byte{hdr[:n], body, checksum(body)} {
+		m, err := w.Write(chunk)
+		written += int64(m)
+		if err != nil {
+			return written, fmt.Errorf("wire: write frame: %w", err)
+		}
+	}
+	return written, nil
+}
+
+// checksum returns the 8-byte little-endian FNV-1a digest of body.
+func checksum(body []byte) []byte {
+	h := fnv.New64a()
+	h.Write(body)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	return sum[:]
+}
+
+// ReadFrame reads one framed body written by WriteFrame, validating the
+// magic, version, declared length, and checksum. Returns the body and the
+// total bytes consumed. io.EOF is returned unwrapped when the stream ends
+// cleanly before the first magic byte, so callers can iterate frames.
+//
+// Allocation is bounded: the body buffer starts at min(length,
+// initialAlloc) and grows only as actual bytes arrive, so a forged
+// multi-gigabyte length costs a bounded allocation before the truncated
+// read fails.
+func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
+	var hdr [5]byte
+	m, err := io.ReadFull(r, hdr[:])
+	n = int64(m)
+	if err != nil {
+		if err == io.EOF && m == 0 {
+			return nil, 0, io.EOF
+		}
+		return nil, n, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, n, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, hdr[:4], magic)
+	}
+	if hdr[4] != Version {
+		return nil, n, fmt.Errorf("wire: unsupported frame version %d (want %d)", hdr[4], Version)
+	}
+	length, m2, err := readUvarint(r)
+	n += int64(m2)
+	if err != nil {
+		return nil, n, fmt.Errorf("wire: read frame length: %w", err)
+	}
+	if length > MaxFrameBytes {
+		return nil, n, fmt.Errorf("wire: frame length %d exceeds limit %d", length, MaxFrameBytes)
+	}
+	body = make([]byte, 0, min(length, initialAlloc))
+	for uint64(len(body)) < length {
+		chunk := min(length-uint64(len(body)), initialAlloc)
+		start := len(body)
+		body = append(body, make([]byte, chunk)...)
+		m, err := io.ReadFull(r, body[start:])
+		n += int64(m)
+		if err != nil {
+			return nil, n, fmt.Errorf("wire: read frame body: %w", err)
+		}
+	}
+	var sum [8]byte
+	m, err = io.ReadFull(r, sum[:])
+	n += int64(m)
+	if err != nil {
+		return nil, n, fmt.Errorf("wire: read frame checksum: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	if binary.LittleEndian.Uint64(sum[:]) != h.Sum64() {
+		return nil, n, ErrChecksum
+	}
+	return body, n, nil
+}
+
+// readUvarint reads one varint from r byte by byte, counting consumed
+// bytes (bufio would read ahead and desync the frame stream).
+func readUvarint(r io.Reader) (uint64, int, error) {
+	var v uint64
+	var b [1]byte
+	for shift, read := 0, 0; ; shift += 7 {
+		if shift >= 64 {
+			return 0, read, errors.New("varint overflows uint64")
+		}
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, read, err
+		}
+		read++
+		v |= uint64(b[0]&0x7f) << shift
+		if b[0] < 0x80 {
+			return v, read, nil
+		}
+	}
+}
+
+// --- evidence store codec --------------------------------------------------
+
+// AppendStore appends the body encoding of the store's snapshot: entry
+// count, then ⟨entity, property, pos, neg⟩ per entry in snapshot order.
+// Counters are encoded as unsigned varints; the Store never holds
+// negative counts.
+func AppendStore(e *Encoder, s *evidence.Store) {
+	snap := s.Snapshot()
+	e.Uvarint(uint64(len(snap)))
+	for _, entry := range snap {
+		e.Uvarint(uint64(entry.Entity))
+		e.String(entry.Property)
+		e.Uvarint(uint64(entry.Pos))
+		e.Uvarint(uint64(entry.Neg))
+	}
+}
+
+// EncodeStore writes one framed store snapshot and returns the bytes
+// written. Encoding the same store content always produces the same
+// bytes: the body iterates the deterministic snapshot order.
+func EncodeStore(w io.Writer, s *evidence.Store) (int64, error) {
+	e := NewEncoder(16 + 16*s.Len())
+	AppendStore(e, s)
+	return WriteFrame(w, StoreMagic, e.Bytes())
+}
+
+// DecodeStoreBody parses a store frame body into a fresh store.
+// Duplicate keys merge additively (encode never emits them, but decode
+// accepts any well-formed body).
+func DecodeStoreBody(body []byte) (*evidence.Store, error) {
+	d := NewDecoder(body)
+	count := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Each entry is at least 4 bytes (three varints and an empty string's
+	// length prefix), so the remaining body bounds the plausible count.
+	if count > uint64(d.Remaining())/4+1 {
+		return nil, fmt.Errorf("wire: entry count %d exceeds body capacity %d", count, d.Remaining())
+	}
+	s := evidence.NewStore()
+	for i := uint64(0); i < count; i++ {
+		ent := d.Uvarint()
+		prop := d.String()
+		pos := d.Uvarint()
+		neg := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("wire: store entry %d: %w", i, err)
+		}
+		if ent > math.MaxInt64 || pos > math.MaxInt64 || neg > math.MaxInt64 {
+			return nil, fmt.Errorf("wire: store entry %d: value overflows int64", i)
+		}
+		s.AddCounts(evidence.Key{Entity: kb.EntityID(ent), Property: prop},
+			evidence.Counts{Pos: int64(pos), Neg: int64(neg)})
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d store entries", d.Remaining(), count)
+	}
+	return s, nil
+}
+
+// DecodeStore reads one framed store snapshot and returns the store and
+// the bytes consumed.
+func DecodeStore(r io.Reader) (*evidence.Store, int64, error) {
+	body, n, err := ReadFrame(r, StoreMagic)
+	if err != nil {
+		return nil, n, err
+	}
+	s, err := DecodeStoreBody(body)
+	return s, n, err
+}
+
+// DecodeStores reads concatenated store frames until EOF and merges them
+// into one store — the reduce half of the shard-invariance contract:
+// decoding k concatenated shard frames equals Merge over the k
+// individually decoded stores, which equals the store of the unsharded
+// run. Returns the merged store and the total bytes consumed.
+func DecodeStores(r io.Reader) (*evidence.Store, int64, error) {
+	merged := evidence.NewStore()
+	var total int64
+	for {
+		s, n, err := DecodeStore(r)
+		total += n
+		if err == io.EOF {
+			return merged, total, nil
+		}
+		if err != nil {
+			return nil, total, err
+		}
+		merged.Merge(s)
+	}
+}

@@ -1,0 +1,96 @@
+// Multi-process mining: the public face of internal/dist. A coordinator
+// splits the corpus into contiguous shards and ships each to a worker —
+// a child process re-executing this binary (DistributedOptions.Command),
+// or an in-process goroutine worker when no command is configured — then
+// merges the returned evidence deltas and models the union once. The
+// result is bit-identical to Mine over the same documents.
+package surveyor
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/dist"
+)
+
+// DistributedOptions configures MineDistributed.
+type DistributedOptions struct {
+	// Workers is the number of worker processes (shards). Zero or negative
+	// means 1.
+	Workers int
+	// Command launches one worker process: Command[0] is the executable,
+	// the rest its arguments. The process must speak the worker protocol
+	// on stdin/stdout — cmd/surveyor's -dist-worker mode does — and must
+	// reconstruct the same knowledge base and lexicon as the coordinator.
+	// Empty runs the workers in-process (goroutines speaking the same
+	// protocol over in-memory pipes): the right default when the corpus
+	// fits one machine and the win is CPU parallelism.
+	Command []string
+	// Stderr receives the worker processes' stderr (nil discards it).
+	Stderr io.Writer
+}
+
+// ShardFailure reports one corpus shard lost to a worker failure. The
+// mined result excludes exactly that shard's documents.
+type ShardFailure struct {
+	// Shard is the failed shard's index in [0, Workers).
+	Shard int
+	// Docs is the number of documents the shard covered.
+	Docs int
+	// Err is the underlying worker failure.
+	Err error
+}
+
+// MineDistributed mines docs across opts.Workers workers, each extracting
+// evidence from one contiguous corpus shard, and models the merged
+// evidence once. On a healthy run the result is bit-identical to
+// MineContext over the same documents with the same Config.
+//
+// Failed workers degrade the run instead of aborting it: each lost shard
+// is reported as a ShardFailure and the result is exactly what MineContext
+// would have produced over the corpus minus those shards' documents. The
+// returned error is non-nil only on cancellation (alongside the partial
+// result, as a *PartialError) or when every shard failed.
+func (s *System) MineDistributed(ctx context.Context, docs []Document, opts DistributedOptions, cfg Config) (*Result, []ShardFailure, error) {
+	s.registerPending()
+	internalDocs := make([]corpus.Document, len(docs))
+	for i, d := range docs {
+		internalDocs[i] = corpus.Document{URL: d.URL, Domain: d.Domain, Text: d.Text}
+	}
+	pcfg := s.pipelineConfig(cfg)
+	var transport dist.Transport
+	if len(opts.Command) > 0 {
+		transport = &dist.ProcTransport{
+			Path:   opts.Command[0],
+			Args:   opts.Command[1:],
+			Stderr: opts.Stderr,
+		}
+	} else {
+		transport = &dist.LocalTransport{Base: s.kb, Lex: s.lex, Pipeline: pcfg}
+	}
+	pres, shardErrs, err := dist.Mine(ctx, internalDocs, s.kb, dist.Config{
+		Shards:    opts.Workers,
+		Transport: transport,
+		Pipeline:  pcfg,
+	})
+	res := &Result{sys: s, res: pres}
+	var failures []ShardFailure
+	for _, se := range shardErrs {
+		failures = append(failures, ShardFailure{Shard: se.Shard, Docs: se.Docs, Err: se.Err})
+	}
+	if err != nil && ctx.Err() != nil {
+		return res, failures, &PartialError{Result: res, Documents: pres.Documents, Err: err}
+	}
+	return res, failures, err
+}
+
+// ServeWorker runs one distributed-mining worker over a pipe pair: read
+// the job from r, extract the shard's evidence, ship the delta on w, and
+// return. cmd/surveyor's hidden -dist-worker mode calls this on
+// stdin/stdout; the system must hold the same knowledge base and lexicon
+// the coordinator mined with.
+func (s *System) ServeWorker(ctx context.Context, r io.Reader, w io.Writer, cfg Config) error {
+	s.registerPending()
+	return dist.RunWorker(ctx, r, w, s.kb, s.lex, s.pipelineConfig(cfg))
+}
