@@ -1,7 +1,8 @@
-// Command surveyorlint runs the repository's custom determinism and
-// concurrency analyzers (detmap, detrand, obsflow, scratch, lockflow) over package
-// patterns, mirroring a golang.org/x/tools multichecker on the standard
-// library only.
+// Command surveyorlint runs the repository's custom determinism,
+// concurrency, and safety-contract analyzers (detmap, detrand, obsflow,
+// scratch, lockflow, allocbound, ctxflow, errflow) over package patterns,
+// mirroring a golang.org/x/tools multichecker on the standard library
+// only.
 //
 // Standalone use:
 //
@@ -29,8 +30,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis/allocbound"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/lockflow"
 	"repro/internal/analysis/obsflow"
@@ -43,6 +47,9 @@ var analyzers = []*framework.Analyzer{
 	obsflow.Analyzer,
 	scratch.Analyzer,
 	lockflow.Analyzer,
+	allocbound.Analyzer,
+	ctxflow.Analyzer,
+	errflow.Analyzer,
 }
 
 func knownAnalyzers() map[string]bool {
@@ -94,9 +101,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One fact store for the whole run: Load returns packages in
+	// dependency order, so an imported package's facts are in the store
+	// before any of its importers are analyzed.
+	facts := framework.NewFactStore(analyzers)
 	var all []framework.Finding
 	for _, pkg := range pkgs {
-		findings, err := framework.Run(pkg, analyzers)
+		findings, err := framework.Run(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "surveyorlint:", err)
 			os.Exit(2)

@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/analysis/framework"
 )
@@ -23,6 +24,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -43,17 +45,55 @@ func vetMode(cfgFile string) int {
 		return 1
 	}
 
-	// The go command caches and threads the vetx facts file to dependents;
-	// these analyzers use no cross-package facts, so an empty file is the
-	// complete output.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// The go command threads each dependency's serialized facts file in
+	// through PackageVetx and expects this package's accumulated facts
+	// (imported ∪ newly exported) back at VetxOutput, caching the file
+	// keyed by the tool fingerprint. Even a VetxOnly run (a package
+	// analyzed solely as a dependency) must therefore run the analyzers
+	// for their fact side effects; only the diagnostics are discarded.
+	facts := framework.NewFactStore(analyzers)
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "surveyorlint:", err)
 			return 1
 		}
+		if err := facts.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "surveyorlint: facts of %s: %v\n", path, err)
+			return 1
+		}
 	}
-	if cfg.VetxOnly {
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "surveyorlint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "surveyorlint:", err)
+			return 1
+		}
 		return 0
+	}
+
+	// Dependency-only packages (VetxOnly, including the whole standard
+	// library) are analyzed purely for their fact side effects — skip
+	// the analyzers that produce none, and skip the type check entirely
+	// when no analyzer produces facts at all.
+	torun := analyzers
+	if cfg.VetxOnly {
+		torun = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				torun = append(torun, a)
+			}
+		}
+		if len(torun) == 0 {
+			return writeVetx()
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -76,7 +116,9 @@ func vetMode(cfgFile string) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			// Pass the imported facts through so dependents still see
+			// them; this package contributes none.
+			return writeVetx()
 		}
 		fmt.Fprintf(os.Stderr, "surveyorlint: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
@@ -89,10 +131,16 @@ func vetMode(cfgFile string) int {
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	findings, err := framework.Run(pkg, analyzers)
+	findings, err := framework.Run(pkg, torun, facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "surveyorlint:", err)
 		return 1
+	}
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	allows, malformed := framework.CollectAllows(pkg, knownAnalyzers())
 	kept, unused := framework.Suppress(findings, allows)
@@ -105,6 +153,16 @@ func vetMode(cfgFile string) int {
 		return 2
 	}
 	return 0
+}
+
+// sortedKeys returns m's keys sorted, for deterministic fact loading.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // buildFingerprint hashes the executable so `go vet` can cache results

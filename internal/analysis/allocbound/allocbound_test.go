@@ -1,0 +1,16 @@
+package allocbound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocbound"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestAllocbound(t *testing.T) {
+	// internal/dist imports internal/wire: the dist expectations only
+	// hold if DecodedSource/ValidatesParam facts flow across the
+	// fixture-package boundary.
+	analysistest.Run(t, analysistest.TestData(), allocbound.Analyzer,
+		"internal/wire", "internal/dist", "pkg/other")
+}

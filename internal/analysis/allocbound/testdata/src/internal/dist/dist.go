@@ -1,0 +1,48 @@
+// Package dist is the cross-package half of the allocbound fixture: it
+// contains no raw decoding of its own — every taint below arrives
+// through DecodedSource facts exported while internal/wire was
+// analyzed, and the validated variant consumes wire.CheckCount's
+// ValidatesParam fact.
+package dist
+
+import "internal/wire"
+
+const maxJobDocs = 1 << 16
+
+// ReadJob trusts a decoded count from another package.
+func ReadJob(d *wire.Decoder) []uint64 {
+	count := int(d.Uvarint())
+	out := make([]uint64, 0, count) // want `allocation size "count" derives from decoded input without a dominating bound check`
+	for i := 0; i < count; i++ {    // want `loop bound "count" derives from decoded input and the loop grows a slice without a dominating bound check`
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+// ReadJobGuarded bounds the imported-decoder count against a named
+// limit before allocating.
+func ReadJobGuarded(d *wire.Decoder) []uint64 {
+	count := int(d.Uvarint())
+	if count > maxJobDocs {
+		return nil
+	}
+	out := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+// ReadJobValidated delegates the check to wire.CheckCount — a guard
+// known only through its cross-package ValidatesParam fact.
+func ReadJobValidated(d *wire.Decoder) ([]uint64, error) {
+	count := int(d.Uvarint())
+	if err := wire.CheckCount(count); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, d.Uvarint())
+	}
+	return out, nil
+}

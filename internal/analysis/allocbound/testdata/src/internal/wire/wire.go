@@ -1,0 +1,124 @@
+// Package wire is an allocbound fixture mirroring the real wire codec:
+// a decoder whose reads are taint sources, with guarded and unguarded
+// allocations.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxElems is the named limit decoded counts are checked against.
+const MaxElems = 1 << 20
+
+// ErrTooBig rejects oversized counts.
+var ErrTooBig = errors.New("wire: count exceeds limit")
+
+// Decoder is a cursor over raw input bytes.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps raw input bytes.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Uvarint decodes the next varint; its result derives from input.
+func (d *Decoder) Uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	d.off += n
+	return v
+}
+
+// Bytes returns the next n raw input bytes.
+func (d *Decoder) Bytes(n int) []byte {
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// CheckCount validates a decoded count against the package limit; the
+// analyzer exports a ValidatesParam fact for it.
+func CheckCount(n int) error {
+	if n > MaxElems {
+		return ErrTooBig
+	}
+	return nil
+}
+
+// DecodeUnguarded allocates and loops on a decoded count with no bound
+// check at all.
+func DecodeUnguarded(d *Decoder) []uint64 {
+	n := int(d.Uvarint())
+	out := make([]uint64, 0, n) // want `allocation size "n" derives from decoded input without a dominating bound check`
+	for i := 0; i < n; i++ {    // want `loop bound "n" derives from decoded input and the loop grows a slice without a dominating bound check`
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+// DecodeLiteralGuard bounds the count, but only against a bare literal.
+func DecodeLiteralGuard(d *Decoder) []uint64 {
+	n := int(d.Uvarint())
+	if n > 1<<20 {
+		return nil
+	}
+	out := make([]uint64, 0, n) // want `allocation size "n" derives from decoded input and is bounds-checked only against a bare literal`
+	for i := 0; i < n; i++ {    // want `loop bound "n" derives from decoded input and the loop grows a slice and is bounds-checked only against a bare literal`
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+// DecodeGuarded is the contract-conforming shape: a terminating check
+// against the named limit dominates both the allocation and the loop.
+func DecodeGuarded(d *Decoder) []uint64 {
+	n := int(d.Uvarint())
+	if n > MaxElems {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Uvarint())
+	}
+	return out
+}
+
+// DecodeEnclosed bounds the allocation with an enclosing conditional.
+func DecodeEnclosed(d *Decoder) []uint64 {
+	n := int(d.Uvarint())
+	if n <= MaxElems {
+		return make([]uint64, n)
+	}
+	return nil
+}
+
+// DecodeValidated delegates the bound check to CheckCount — the
+// ValidatesParam fact makes the call count as the guard.
+func DecodeValidated(d *Decoder) ([]uint64, error) {
+	n := int(d.Uvarint())
+	if err := CheckCount(n); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Uvarint())
+	}
+	return out, nil
+}
+
+// ReadPrefix needs no guard: min caps the allocation at a compile-time
+// size regardless of the decoded value.
+func ReadPrefix(d *Decoder) []byte {
+	n := int(d.Uvarint())
+	buf := make([]byte, min(n, 4096))
+	copy(buf, d.buf)
+	return buf
+}
+
+// SafeAlloc sizes from materialized data, not decoded numbers: len() of
+// anything is bounded by the allocation that produced it.
+func SafeAlloc(d *Decoder) []int {
+	payload := d.Bytes(16)
+	return make([]int, len(payload))
+}

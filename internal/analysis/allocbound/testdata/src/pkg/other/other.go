@@ -1,0 +1,16 @@
+// Package other is outside the allocbound scope: the same unguarded
+// pattern produces no findings here.
+package other
+
+import "encoding/binary"
+
+// Decode allocates from a decoded count with no check — legal outside
+// the codec and transport packages.
+func Decode(buf []byte) []uint64 {
+	n, _ := binary.Uvarint(buf)
+	out := make([]uint64, 0, int(n))
+	for i := 0; i < int(n); i++ {
+		out = append(out, uint64(i))
+	}
+	return out
+}

@@ -27,8 +27,81 @@ var hotPath = []string{
 	"internal/pipeline",
 }
 
+// determinismLintExtra extends the detmap/detrand lint scope beyond the
+// bit-identical core: the incremental miner must produce the same epochs
+// for the same inputs, and the observability layer's exported snapshots
+// must be stably ordered. These packages are *not* under the write-only
+// telemetry contract (obs legitimately reads its own state back), so
+// they extend DeterminismLint but not Observability.
+var determinismLintExtra = []string{
+	"internal/incremental",
+	"internal/obs",
+}
+
+// allocBound lists the packages where every allocation sized from
+// decoded input must be dominated by a bound check against a named
+// limit (the allocbound analyzer): the wire codec, the annotate codec,
+// and the dist protocol layer that consumes wire's decoders
+// cross-package.
+var allocBound = []string{
+	"internal/wire",
+	"internal/annotate",
+	"internal/dist",
+}
+
+// errContract lists the packages whose exported functions must return
+// wrapped or typed errors and compare sentinels with errors.Is (the
+// errflow analyzer) — the decode and transport paths where a swallowed
+// or identity-compared error becomes a silent data loss.
+var errContract = []string{
+	"internal/wire",
+	"internal/dist",
+	"internal/incremental",
+	"internal/corpus",
+}
+
+// claimCommit lists the packages whose worker loops follow PR 5's
+// "claimed documents always finish" rule: cancellation may be observed
+// before claiming a document, never between claim and commit (the
+// ctxflow analyzer).
+var claimCommit = []string{
+	"internal/pipeline",
+	"internal/dist",
+}
+
 // Determinism reports whether the package is determinism-critical.
 func Determinism(pkgPath string) bool { return matches(pkgPath, determinism) }
+
+// DeterminismLint reports whether detmap/detrand bind to the package:
+// the determinism core plus the incremental and obs layers.
+func DeterminismLint(pkgPath string) bool {
+	return Determinism(pkgPath) || matches(pkgPath, determinismLintExtra)
+}
+
+// AllocBound reports whether the package is under the decoded-input
+// allocation-bounding contract.
+func AllocBound(pkgPath string) bool { return matches(pkgPath, allocBound) }
+
+// ErrContract reports whether the package is under the wrapped-typed-
+// error contract.
+func ErrContract(pkgPath string) bool { return matches(pkgPath, errContract) }
+
+// ClaimCommit reports whether the package's worker loops are under the
+// claim-then-finish cancellation rule.
+func ClaimCommit(pkgPath string) bool { return matches(pkgPath, claimCommit) }
+
+// Library reports whether the package is library code (an "internal"
+// path element), where fresh contexts (context.Background/TODO) are
+// forbidden — entry points (cmd, examples, the surveyor facade) own
+// context creation.
+func Library(pkgPath string) bool {
+	for _, el := range strings.Split(pkgPath, "/") {
+		if el == "internal" {
+			return true
+		}
+	}
+	return false
+}
 
 // HotPath reports whether the package is on the extraction hot path.
 func HotPath(pkgPath string) bool { return matches(pkgPath, hotPath) }

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"internal/pipeline", "pkg/other")
+}

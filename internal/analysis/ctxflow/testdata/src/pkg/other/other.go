@@ -1,0 +1,12 @@
+// Package other is an entry-point-style package outside the library
+// scope: creating contexts here is the point.
+package other
+
+import "context"
+
+func serve(ctx context.Context) {}
+
+// Main owns context creation — no findings outside internal/... paths.
+func Main() {
+	serve(context.Background())
+}

@@ -29,7 +29,7 @@ var Analyzer = &framework.Analyzer{
 }
 
 func run(pass *framework.Pass) (any, error) {
-	if !critical.Determinism(pass.Pkg.Path()) {
+	if !critical.DeterminismLint(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	for _, file := range pass.Files {

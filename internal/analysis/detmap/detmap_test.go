@@ -9,5 +9,5 @@ import (
 
 func TestDetmap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), detmap.Analyzer,
-		"internal/core", "pkg/other")
+		"internal/core", "internal/incremental", "pkg/other")
 }

@@ -1,0 +1,32 @@
+// Fixture for the detmap analyzer's widened scope: the package path ends
+// in "internal/incremental", which the DeterminismLint table adds beyond
+// the bit-identical core — the incremental miner must produce the same
+// epochs for the same inputs.
+package incremental
+
+import "sort"
+
+// dirtyGroups consumes a dirty-set map in iteration order: flagged. This
+// is exactly the epoch-splice shape where iteration order would leak into
+// the published snapshot.
+func dirtyGroups(dirty map[string][]int) []int {
+	var out []int
+	for _, idxs := range dirty { // want `map iteration order`
+		out = append(out, idxs...)
+	}
+	return out
+}
+
+// sortedDirtyGroups snapshots and sorts the keys first: clean.
+func sortedDirtyGroups(dirty map[string][]int) []int {
+	keys := make([]string, 0, len(dirty))
+	for k := range dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, dirty[k]...)
+	}
+	return out
+}

@@ -34,7 +34,7 @@ var seededConstructors = map[string]bool{
 }
 
 func run(pass *framework.Pass) (any, error) {
-	if !critical.Determinism(pass.Pkg.Path()) {
+	if !critical.DeterminismLint(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	for _, file := range pass.Files {

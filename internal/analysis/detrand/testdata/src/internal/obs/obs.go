@@ -1,0 +1,19 @@
+// Fixture for the detrand analyzer's widened scope: the package path ends
+// in "internal/obs", which the DeterminismLint table adds beyond the
+// bit-identical core — exported telemetry snapshots must be stably
+// ordered and timestamped through the injected Clock, not the wall clock.
+package obs
+
+import "time"
+
+// stamp reads the wall clock directly instead of the injected Clock:
+// flagged. (The real package's one legitimate source, NewSystemClock,
+// carries a justified //lint:allow.)
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now is nondeterministic`
+}
+
+// tick does duration arithmetic on an injected origin: clean.
+func tick(origin time.Time, d time.Duration) time.Time {
+	return origin.Add(d)
+}

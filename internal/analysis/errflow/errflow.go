@@ -1,0 +1,337 @@
+// Package errflow defines an analyzer enforcing PR 7's error contract on
+// the decode and transport packages (internal/wire, internal/dist,
+// internal/incremental, internal/corpus):
+//
+//   - error sentinels must be compared with errors.Is, never == or != —
+//     the contract wraps errors with %w and typed wrappers (*ShardError,
+//     *LineError), so identity comparison silently stops matching;
+//   - error results of calls into these packages must not be discarded
+//     (an ignored decode or transport error is a silent data loss);
+//   - exported functions must not return an error obtained from another
+//     package as-is: wrap it with fmt.Errorf("...: %w", err) or a typed
+//     wrapper so the failure names the layer it crossed. Errors created
+//     in place (fmt.Errorf, errors.New) and context cancellation
+//     (ctx.Err()) are already "ours" and pass through freely; a genuine
+//     passthrough sentinel (io.EOF as the clean end-of-stream signal)
+//     documents itself with //lint:allow.
+//
+// The passthrough rule rides on the framework taint engine: sources are
+// calls into foreign packages that yield errors, wrapping kills the
+// taint (fmt/errors constructors do not propagate, composite literals
+// are clean under NoCompositeTaint, and a reassignment like
+// err = fmt.Errorf("...: %w", err) is recognized as a wrap). Test files
+// are exempt: harnesses assert on sentinel identity deliberately.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/critical"
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the errflow analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "errflow",
+	Doc: "requires errors.Is over ==, forbids discarded decode/transport errors, " +
+		"and requires exported functions to wrap foreign errors in contract packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if !critical.ErrContract(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		checkComparisons(pass, file)
+		checkDiscarded(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedFunc(pass, fd) {
+				return true
+			}
+			checkReturns(pass, fd)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkComparisons flags ==/!= between an error and a sentinel (a
+// package-level error variable like io.EOF). nil checks and identity
+// dedup of two local error values are fine — only sentinel matching
+// breaks under wrapping.
+func checkComparisons(pass *framework.Pass, file *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(file, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if !isErrorExpr(info, b.X) && !isErrorExpr(info, b.Y) {
+			return true
+		}
+		if isNil(info, b.X) || isNil(info, b.Y) {
+			return true
+		}
+		if !isSentinel(info, b.X) && !isSentinel(info, b.Y) {
+			return true
+		}
+		pass.Reportf(b.Pos(),
+			"error compared against a sentinel with %s; the contract wraps errors (%%w, typed wrappers), "+
+				"so identity comparison breaks — use errors.Is (or errors.As for typed errors)", b.Op)
+		return true
+	})
+}
+
+// isSentinel reports whether e denotes a package-level error variable.
+func isSentinel(info *types.Info, e ast.Expr) bool {
+	obj := framework.RootIdentObj(info, e)
+	if obj == nil {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			obj = info.Uses[sel.Sel]
+		}
+	}
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && isErrorType(v.Type())
+}
+
+// checkDiscarded flags discarded error results of calls into the
+// contract packages: bare expression statements and assignments to _.
+func checkDiscarded(pass *framework.Pass, file *ast.File) {
+	info := pass.TypesInfo
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := discardsContractError(info, call, nil); ok {
+					pass.Reportf(n.Pos(),
+						"error result of %s discarded on a decode/transport path; handle it or assign and check it",
+						name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := discardsContractError(info, call, n.Lhs); ok {
+				pass.Reportf(n.Pos(),
+					"error result of %s assigned to _ on a decode/transport path; handle it or assign and check it",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// discardsContractError reports whether the call returns an error
+// declared by a contract package and, given lhs, whether that error
+// lands in a blank identifier (lhs == nil means the whole result set is
+// dropped).
+func discardsContractError(info *types.Info, call *ast.CallExpr, lhs []ast.Expr) (string, bool) {
+	fn := framework.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !critical.ErrContract(fn.Pkg().Path()) {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		if lhs == nil {
+			return fn.Name(), true
+		}
+		if i < len(lhs) {
+			if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				return fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkReturns flags return statements in exported functions whose error
+// operands are unwrapped foreign errors.
+func checkReturns(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	taint := framework.NewTaint(fd, framework.TaintConfig{
+		Info:             info,
+		NoCompositeTaint: true, // a typed wrapper struct IS the wrap
+		Source: func(call *ast.CallExpr) bool {
+			return foreignErrorCall(pass, call)
+		},
+	})
+	// Refinement over sticky taint: an object rewrapped anywhere in the
+	// function (err = fmt.Errorf("...: %w", err)) is considered handled
+	// on every path — a linter-friendly under-approximation.
+	rewrapped := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			obj := framework.RootIdentObj(info, as.Lhs[i])
+			if obj == nil || !isErrorType(obj.Type()) {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isWrapCall(info, call) {
+				rewrapped[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if !isErrorExpr(info, r) {
+				continue
+			}
+			if obj := framework.RootIdentObj(info, r); obj != nil && rewrapped[obj] {
+				continue
+			}
+			switch {
+			case taint.Expr(r):
+				pass.Reportf(r.Pos(),
+					"exported %s returns an error from another package unwrapped; add this layer's "+
+						"context with fmt.Errorf(\"...: %%w\", err) or a typed wrapper", fd.Name.Name)
+			case foreignSentinel(pass, r):
+				pass.Reportf(r.Pos(),
+					"exported %s returns the foreign sentinel %s directly; wrap it — or, if it is the "+
+						"documented passthrough signal, justify with //lint:allow errflow", fd.Name.Name, exprString(r))
+			}
+		}
+		return true
+	})
+}
+
+// foreignErrorCall reports calls into other packages that yield errors —
+// the taint sources for the passthrough rule. The error-constructor and
+// context packages are exempt: their errors are created, not crossed.
+func foreignErrorCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "errors", "fmt", "context":
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// foreignSentinel reports whether e denotes an error variable declared
+// in another package (io.EOF, bufio.ErrBufferFull, ...).
+func foreignSentinel(pass *framework.Pass, e ast.Expr) bool {
+	obj := framework.RootIdentObj(pass.TypesInfo, e)
+	if obj == nil {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			obj = pass.TypesInfo.Uses[sel.Sel]
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg() == pass.Pkg {
+		return false
+	}
+	return isErrorType(v.Type())
+}
+
+// isWrapCall reports fmt.Errorf / errors wrapping constructors.
+func isWrapCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := framework.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return fn.Name() == "Errorf"
+	case "errors":
+		return fn.Name() == "Join" || fn.Name() == "New"
+	}
+	return false
+}
+
+// exportedFunc reports whether the declaration is callable from outside
+// the package: an exported function, or an exported method on an
+// exported type.
+func exportedFunc(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return true
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Exported()
+	}
+	return true
+}
+
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func exprString(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "it"
+}

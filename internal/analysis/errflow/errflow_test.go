@@ -1,0 +1,13 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/errflow"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errflow.Analyzer,
+		"internal/wire", "internal/dist", "pkg/other")
+}

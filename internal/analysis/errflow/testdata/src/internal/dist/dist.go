@@ -1,0 +1,32 @@
+// Package dist is the transport half of the errflow fixture: discarded
+// decode errors and cross-package wrapping.
+package dist
+
+import (
+	"fmt"
+	"io"
+
+	"internal/wire"
+)
+
+// Ship discards decode errors two ways.
+func Ship(r io.Reader) []byte {
+	wire.ReadFrame(r)            // want `error result of ReadFrame discarded on a decode/transport path`
+	b, _ := wire.ReadFrame(r)    // want `error result of ReadFrame assigned to _ on a decode/transport path`
+	return b
+}
+
+// ShipChecked handles and wraps: clean.
+func ShipChecked(r io.Reader) ([]byte, error) {
+	b, err := wire.ReadFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("dist: job frame: %w", err)
+	}
+	return b, nil
+}
+
+// ShipLoose returns wire's error with no dist-layer context.
+func ShipLoose(r io.Reader) ([]byte, error) {
+	b, err := wire.ReadFrame(r)
+	return b, err // want `exported ShipLoose returns an error from another package unwrapped`
+}

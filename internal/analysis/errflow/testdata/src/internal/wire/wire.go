@@ -1,0 +1,77 @@
+// Package wire is an errflow fixture: sentinel comparisons, unwrapped
+// foreign-error returns, and the conforming wrapped shapes.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt is this package's own sentinel.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ReadFrame wraps the reader's errors with this layer's context: clean.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: frame header: %w", err)
+	}
+	return buf, nil
+}
+
+// ReadLoose hands the io error to its caller with no context.
+func ReadLoose(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	return buf, err // want `exported ReadLoose returns an error from another package unwrapped`
+}
+
+// ReadRewrapped wraps by reassignment — recognized as handled.
+func ReadRewrapped(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	if err != nil {
+		err = fmt.Errorf("wire: frame header: %w", err)
+	}
+	return buf, err
+}
+
+// readLoose is unexported: callers inside the package wrap at their own
+// exported boundary.
+func readLoose(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// IsEOF matches a sentinel by identity — broken under wrapping.
+func IsEOF(err error) bool {
+	return err == io.EOF // want `error compared against a sentinel with ==`
+}
+
+// IsEOFOk matches through wrap chains: clean.
+func IsEOFOk(err error) bool {
+	return errors.Is(err, io.EOF)
+}
+
+// SameError deduplicates one error value by identity — not a sentinel
+// match, clean.
+func SameError(a, b error) bool {
+	return a != nil && a != b
+}
+
+// Next passes a foreign sentinel through directly.
+func Next(r io.Reader) error {
+	var b [1]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return io.EOF // want `exported Next returns the foreign sentinel io.EOF directly`
+	}
+	return nil
+}
+
+// OwnSentinel returns this package's sentinel: clean (callers match it
+// with errors.Is against this very package).
+func OwnSentinel() error {
+	return ErrCorrupt
+}

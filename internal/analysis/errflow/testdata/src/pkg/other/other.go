@@ -1,0 +1,16 @@
+// Package other is outside the error-contract scope: identity sentinel
+// comparison and raw returns are legal here.
+package other
+
+import "io"
+
+// Drain compares and returns sentinels freely outside the contract
+// packages.
+func Drain(r io.Reader) error {
+	var b [1]byte
+	_, err := r.Read(b[:])
+	if err == io.EOF {
+		return nil
+	}
+	return err
+}

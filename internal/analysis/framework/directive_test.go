@@ -54,6 +54,71 @@ var d = 4
 	}
 }
 
+func TestCollectAllowsMissingName(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//lint:allow
+var a = 1
+`)
+	allows, problems := CollectAllows(pkg, map[string]bool{"detmap": true})
+	if len(allows) != 0 {
+		t.Fatalf("got %d allows, want 0", len(allows))
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0].Message, "missing analyzer name") {
+		t.Fatalf("problems = %v, want one missing-analyzer-name", problems)
+	}
+}
+
+// TestAllowEndToEnd drives a toy analyzer through the full directive flow:
+// report, collect, suppress — the same path both drivers use — without
+// depending on any real analyzer's semantics.
+func TestAllowEndToEnd(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+var suppressed = 1 //lint:allow toy justified here
+
+var reported = 2
+`)
+	toy := &Analyzer{
+		Name: "toy",
+		Doc:  "flags every package-level var",
+		Run: func(pass *Pass) (any, error) {
+			for _, file := range pass.Files {
+				for _, d := range file.Decls {
+					gd, ok := d.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							pass.Reportf(vs.Pos(), "var %s", vs.Names[0].Name)
+						}
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	findings, err := Run(&Package{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files}, []*Analyzer{toy}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("toy analyzer produced %d findings, want 2", len(findings))
+	}
+	allows, problems := CollectAllows(pkg, map[string]bool{"toy": true})
+	if len(allows) != 1 || len(problems) != 0 {
+		t.Fatalf("CollectAllows = %v, %v; want one clean allow", allows, problems)
+	}
+	kept, unused := Suppress(findings, allows)
+	if len(unused) != 0 {
+		t.Fatalf("the allow suppressed a finding yet reads as unused: %v", unused)
+	}
+	if len(kept) != 1 || !strings.Contains(kept[0].Message, "reported") {
+		t.Fatalf("kept = %v, want only the undirected finding", kept)
+	}
+}
+
 func TestSuppress(t *testing.T) {
 	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
 	findings := []Finding{

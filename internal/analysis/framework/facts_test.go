@@ -1,0 +1,145 @@
+package framework
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFactA struct{ N int }
+
+func (*testFactA) AFact() {}
+
+type testFactB struct{}
+
+func (*testFactB) AFact() {}
+
+// factObjects type-checks a small package and returns its package scope.
+func factObjects(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "facts.go", `package p
+
+type T struct{}
+
+func (t *T) M() {}
+
+func F() {}
+
+var V int
+`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check("example.com/p", fset, []*ast.File{f}, NewInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func lookupMethod(t *testing.T, pkg *types.Package, typ, name string) types.Object {
+	t.Helper()
+	tn := pkg.Scope().Lookup(typ)
+	obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, name)
+	if obj == nil {
+		t.Fatalf("method %s.%s not found", typ, name)
+	}
+	return obj
+}
+
+func TestObjectKey(t *testing.T) {
+	pkg := factObjects(t)
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{pkg.Scope().Lookup("F"), "example.com/p.F"},
+		{pkg.Scope().Lookup("V"), "example.com/p.V"},
+		{lookupMethod(t, pkg, "T", "M"), "example.com/p.T.M"},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := ObjectKey(c.obj); got != c.want {
+			t.Errorf("ObjectKey(%v) = %q, want %q", c.obj, got, c.want)
+		}
+	}
+}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	pkg := factObjects(t)
+	alpha := &Analyzer{Name: "alpha", FactTypes: []Fact{new(testFactA)}}
+	beta := &Analyzer{Name: "beta", FactTypes: []Fact{new(testFactB)}}
+	objF := pkg.Scope().Lookup("F")
+	objM := lookupMethod(t, pkg, "T", "M")
+
+	store := NewFactStore([]*Analyzer{alpha, beta})
+	store.export("alpha", objF, &testFactA{N: 7})
+	store.export("beta", objM, &testFactB{})
+	if store.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", store.Len())
+	}
+
+	data, err := store.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("Encode is not deterministic:\n%s\n%s", data, again)
+	}
+
+	fresh := NewFactStore([]*Analyzer{alpha, beta})
+	if err := fresh.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	var got testFactA
+	if !fresh.importFact("alpha", objF, &got) || got.N != 7 {
+		t.Errorf("importFact(alpha, F) = %+v, want N=7", got)
+	}
+	// The analyzer name is part of the key: beta never published a
+	// testFactA for F.
+	if fresh.importFact("beta", objF, &got) {
+		t.Error("importFact(beta, F) found a fact that was never exported")
+	}
+	var gotB testFactB
+	if !fresh.importFact("beta", objM, &gotB) {
+		t.Error("importFact(beta, T.M) found nothing")
+	}
+}
+
+func TestFactStoreDecodeTolerance(t *testing.T) {
+	pkg := factObjects(t)
+	alpha := &Analyzer{Name: "alpha", FactTypes: []Fact{new(testFactA)}}
+	beta := &Analyzer{Name: "beta", FactTypes: []Fact{new(testFactB)}}
+	objF := pkg.Scope().Lookup("F")
+
+	full := NewFactStore([]*Analyzer{alpha, beta})
+	full.export("alpha", objF, &testFactA{N: 1})
+	full.export("beta", objF, &testFactB{})
+	data, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A store that only knows alpha skips beta's facts instead of failing:
+	// version skew between tool builds must not poison the cache.
+	narrow := NewFactStore([]*Analyzer{alpha})
+	if err := narrow.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Len() != 1 {
+		t.Errorf("narrow store kept %d facts, want 1", narrow.Len())
+	}
+
+	// Zero-byte input is a valid empty fact set.
+	if err := narrow.Decode(nil); err != nil {
+		t.Errorf("Decode(nil) = %v, want nil", err)
+	}
+}

@@ -20,6 +20,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -33,7 +34,7 @@ type listedPackage struct {
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,DepOnly,Error",
 		"--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -66,6 +67,12 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 	}
 
+	// Order targets dependency-first so a driver threading a FactStore
+	// through the returned slice sees an imported package's facts before
+	// analyzing its importers. `go list -deps` usually emits this order
+	// already; the explicit sort makes it a guarantee.
+	targets = sortDepsFirst(targets)
+
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, exports, nil)
 	var pkgs []*Package
@@ -96,6 +103,36 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		})
 	}
 	return pkgs, nil
+}
+
+// sortDepsFirst topologically orders the target packages so that every
+// package appears after the targets it imports. Ties (and any cycle the
+// go command would have rejected anyway) fall back to the input order.
+func sortDepsFirst(targets []listedPackage) []listedPackage {
+	byPath := make(map[string]int, len(targets))
+	for i, t := range targets {
+		byPath[t.ImportPath] = i
+	}
+	out := make([]listedPackage, 0, len(targets))
+	state := make([]int, len(targets)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		for _, imp := range targets[i].Imports {
+			if j, ok := byPath[imp]; ok && state[j] == 0 {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		out = append(out, targets[i])
+	}
+	for i := range targets {
+		visit(i)
+	}
+	return out
 }
 
 // ExportImporter returns a types.Importer that reads gc export data files.

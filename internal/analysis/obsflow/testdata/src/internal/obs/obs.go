@@ -35,3 +35,17 @@ type Clock interface {
 	// Now is a read: instrumented code must not branch on the clock.
 	Now() time.Duration
 }
+
+// Gauge mirrors the set-only write side.
+type Gauge struct{ v int64 }
+
+// Set is a write: allowed everywhere.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Total reads a counter *inside* internal/obs itself — the telemetry
+// implementation legitimately reads its own state (that is what serving
+// a debug page is), and the package is outside the write-only scope, so
+// this is clean.
+func Total(c *Counter) int64 {
+	return c.Value()
+}

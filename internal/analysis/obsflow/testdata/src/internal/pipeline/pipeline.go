@@ -55,3 +55,25 @@ func elapsed(start, end time.Duration) time.Duration {
 func publish() *expvar.Int {
 	return expvar.NewInt("surveyor_fixture")
 }
+
+// adaptiveBatch sizes the next batch from the documents counter — the
+// feedback loop the write-only contract exists to prevent: the schedule
+// would leak into results through the telemetry reading.
+func adaptiveBatch(done *obs.Counter, batch int) int {
+	if done.Value()%2 == 0 { // want `reads observability state`
+		return batch * 2
+	}
+	return batch
+}
+
+// instrumentedWorker is the legitimate write-heavy shape: counters,
+// gauges, and spans written throughout a processing loop, duration
+// escaping only through Span.End. All clean.
+func instrumentedWorker(docs []int, processed *obs.Counter, depth *obs.Gauge, span *obs.Span) time.Duration {
+	for range docs {
+		processed.Inc()
+		depth.Set(int64(len(docs)))
+	}
+	processed.Add(int64(len(docs)))
+	return span.End()
+}

@@ -19,6 +19,17 @@ import (
 // one so the root's -1 fits in an unsigned varint.
 const codecHeader = "SVANN1\n"
 
+// Decode-side sanity limits. A forged or corrupt stream must not cost
+// unbounded memory, so every decoded count is checked against a named
+// cap before it sizes an allocation or drives a growth loop.
+const (
+	maxDocCount  = 1 << 28
+	maxStringLen = 1 << 20
+	maxSentences = 1 << 24
+	maxTokens    = 1 << 20
+	maxMentions  = 1 << 20
+)
+
 // Write serialises annotated documents.
 func Write(w io.Writer, docs []Document) error {
 	bw := bufio.NewWriter(w)
@@ -45,7 +56,7 @@ func Read(r io.Reader) ([]Document, error) {
 	}
 	d := &decoder{r: br}
 	n := d.uvarint()
-	if n > 1<<28 {
+	if n > maxDocCount {
 		return nil, fmt.Errorf("annotate: implausible document count %d", n)
 	}
 	// The count is untrusted until that many documents actually decode, so
@@ -140,7 +151,7 @@ func (d *decoder) str() string {
 	if d.err != nil {
 		return ""
 	}
-	if n > 1<<20 {
+	if n > maxStringLen {
 		d.err = fmt.Errorf("string length %d too large", n)
 		return ""
 	}
@@ -158,7 +169,7 @@ func (d *decoder) document() Document {
 	doc.Domain = d.str()
 	doc.Author = int(d.uvarint())
 	nSents := d.uvarint()
-	if d.err != nil || nSents > 1<<24 {
+	if d.err != nil || nSents > maxSentences {
 		if d.err == nil {
 			d.err = fmt.Errorf("implausible sentence count %d", nSents)
 		}
@@ -176,7 +187,7 @@ func (d *decoder) document() Document {
 func (d *decoder) sentence() Sentence {
 	var s Sentence
 	nTok := d.uvarint()
-	if d.err != nil || nTok > 1<<20 {
+	if d.err != nil || nTok > maxTokens {
 		if d.err == nil {
 			d.err = fmt.Errorf("implausible token count %d", nTok)
 		}
@@ -219,7 +230,7 @@ func (d *decoder) sentence() Sentence {
 		}
 	}
 	nMen := d.uvarint()
-	if d.err != nil || nMen > 1<<20 {
+	if d.err != nil || nMen > maxMentions {
 		if d.err == nil {
 			d.err = fmt.Errorf("implausible mention count %d", nMen)
 		}

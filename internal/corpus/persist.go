@@ -3,6 +3,7 @@ package corpus
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -17,7 +18,10 @@ func WriteJSONL(w io.Writer, docs []Document) error {
 			return fmt.Errorf("corpus: write document %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("corpus: flush documents: %w", err)
+	}
+	return nil
 }
 
 // DefaultMaxLineBytes is the per-line size cap of JSONL reading: one
@@ -104,7 +108,7 @@ func (it *Iterator) Next() bool {
 	}
 	for {
 		line, tooLong, rerr := it.readLine()
-		atEOF := rerr == io.EOF
+		atEOF := errors.Is(rerr, io.EOF)
 		if rerr != nil && !atEOF {
 			it.done = true
 			it.err = &LineError{Line: it.st.Lines + 1, Err: rerr}
@@ -178,11 +182,11 @@ func (it *Iterator) readLine() (line []byte, tooLong bool, rerr error) {
 		if len(buf) <= it.cfg.MaxLineBytes {
 			buf = append(buf, frag...)
 		}
-		if err == bufio.ErrBufferFull {
+		if errors.Is(err, bufio.ErrBufferFull) {
 			if len(buf) > it.cfg.MaxLineBytes {
 				derr := it.discardLine()
 				it.buf = buf[:0]
-				if derr == io.EOF {
+				if errors.Is(derr, io.EOF) {
 					derr = nil // the oversized line was the last one
 				}
 				return nil, true, derr
@@ -202,7 +206,7 @@ func (it *Iterator) readLine() (line []byte, tooLong bool, rerr error) {
 func (it *Iterator) discardLine() error {
 	for {
 		_, err := it.br.ReadSlice('\n')
-		if err == bufio.ErrBufferFull {
+		if errors.Is(err, bufio.ErrBufferFull) {
 			continue
 		}
 		return err

@@ -80,7 +80,7 @@ func WriteJob(w io.Writer, job *Job) (int64, error) {
 func ReadJob(r io.Reader) (*Job, int64, error) {
 	body, n, err := wire.ReadFrame(r, jobMagic)
 	if err != nil {
-		return nil, n, err
+		return nil, n, fmt.Errorf("dist: read job frame: %w", err)
 	}
 	d := wire.NewDecoder(body)
 	job := &Job{}
@@ -88,7 +88,7 @@ func ReadJob(r io.Reader) (*Job, int64, error) {
 	offset := d.Uvarint()
 	count := d.Uvarint()
 	if err := d.Err(); err != nil {
-		return nil, n, err
+		return nil, n, fmt.Errorf("dist: decode job header: %w", err)
 	}
 	if shard > math.MaxInt32 || offset > math.MaxInt32 {
 		return nil, n, fmt.Errorf("dist: implausible shard %d / offset %d", shard, offset)
@@ -149,17 +149,20 @@ func WriteShardResult(w io.Writer, res *ShardResult) (int64, error) {
 	}
 	n, err := wire.WriteFrame(w, resultMagic, e.Bytes())
 	if err != nil {
-		return n, err
+		return n, fmt.Errorf("dist: write result frame: %w", err)
 	}
 	m, err := wire.EncodeStore(w, res.Store)
-	return n + m, err
+	if err != nil {
+		return n + m, fmt.Errorf("dist: write result store: %w", err)
+	}
+	return n + m, nil
 }
 
 // ReadShardResult reads one result header frame and its store frame.
 func ReadShardResult(r io.Reader) (*ShardResult, int64, error) {
 	body, n, err := wire.ReadFrame(r, resultMagic)
 	if err != nil {
-		return nil, n, err
+		return nil, n, fmt.Errorf("dist: read result frame: %w", err)
 	}
 	d := wire.NewDecoder(body)
 	res := &ShardResult{}
@@ -168,7 +171,7 @@ func ReadShardResult(r io.Reader) (*ShardResult, int64, error) {
 	sentences := d.Uvarint()
 	qcount := d.Uvarint()
 	if err := d.Err(); err != nil {
-		return nil, n, err
+		return nil, n, fmt.Errorf("dist: decode result header: %w", err)
 	}
 	if shard > math.MaxInt32 || consumed > math.MaxInt32 || sentences > math.MaxInt64 {
 		return nil, n, fmt.Errorf("dist: implausible result header (shard %d, consumed %d)", shard, consumed)

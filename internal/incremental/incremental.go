@@ -37,6 +37,7 @@ package incremental
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -158,6 +159,9 @@ func (m *Miner) IngestStream(ctx context.Context, it *corpus.Iterator, batch int
 			docs = append(docs, it.Doc())
 		}
 		readErr := it.Err()
+		if readErr != nil {
+			readErr = fmt.Errorf("incremental: corpus read: %w", readErr)
+		}
 		if len(docs) == 0 {
 			return all, readErr
 		}

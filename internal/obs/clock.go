@@ -27,6 +27,8 @@ func (c *systemClock) Now() time.Duration { return time.Since(c.base) }
 
 // NewSystemClock returns a Clock backed by the runtime's monotonic clock,
 // with its origin at the call.
+//
+//lint:allow detrand this is the injectable Clock's one real wall-clock source; tests substitute ManualClock
 func NewSystemClock() Clock { return &systemClock{base: time.Now()} }
 
 // defaultClock serves every component that was not given an explicit

@@ -80,6 +80,7 @@ func (p *annotatedProcessor) process(doc *annotate.Document) (reason string, ok 
 // documents with the same configuration. Delegates to RunAnnotatedContext
 // with a background context.
 func RunAnnotated(docs []annotate.Document, base *kb.KB, lex *lexicon.Lexicon, cfg Config) *Result {
+	//lint:allow ctxflow documented non-cancellable entry point; callers wanting cancellation use RunAnnotatedContext
 	res, _ := RunAnnotatedContext(context.Background(), docs, base, lex, cfg)
 	return res
 }

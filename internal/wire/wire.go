@@ -208,8 +208,8 @@ func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
 	m, err := io.ReadFull(r, hdr[:])
 	n = int64(m)
 	if err != nil {
-		if err == io.EOF && m == 0 {
-			return nil, 0, io.EOF
+		if errors.Is(err, io.EOF) && m == 0 {
+			return nil, 0, io.EOF //lint:allow errflow documented clean-EOF contract: callers iterate frames by matching io.EOF
 		}
 		return nil, n, fmt.Errorf("wire: read frame header: %w", err)
 	}
@@ -355,7 +355,7 @@ func DecodeStores(r io.Reader) (*evidence.Store, int64, error) {
 	for {
 		s, n, err := DecodeStore(r)
 		total += n
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return merged, total, nil
 		}
 		if err != nil {
