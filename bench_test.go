@@ -707,6 +707,49 @@ func BenchmarkDistributedMine(b *testing.B) {
 	b.Run("N4", func(b *testing.B) { run(b, 4) })
 }
 
+// BenchmarkDistObsOverhead is the distributed twin of BenchmarkObsOverhead:
+// the same 4-shard run with telemetry fully off versus on. "On" mirrors
+// the single-process pair — a live metrics registry per process, no
+// tracer — so the pair isolates the new distributed machinery: workers
+// snapshotting and shipping SVTM frames, the coordinator decoding and
+// federating them. cmd/benchdiff gates the pair at the same ≤2%
+// tolerance: telemetry must stay write-only and nearly free on the
+// distributed path too.
+func BenchmarkDistObsOverhead(b *testing.B) {
+	base := kb.Default(1)
+	lex := lexicon.Default()
+	base.RegisterLexicon(lex)
+	snap := corpus.NewGenerator(base, corpus.Table2Specs(),
+		corpus.Config{Seed: 2, Scale: benchScale}).Generate()
+	workerCfg := pipeline.Config{Rho: int64(40 * benchScale), Workers: 1}
+	const shards = 4
+	run := func(b *testing.B, telemetry bool) {
+		b.Helper()
+		lt := &dist.LocalTransport{Base: base, Lex: lex, Pipeline: workerCfg}
+		reduceCfg := workerCfg
+		if telemetry {
+			lt.WorkerObs = func(int) *obs.RunObs {
+				return &obs.RunObs{Metrics: obs.NewRegistry()}
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			if telemetry {
+				reduceCfg.Obs = &obs.RunObs{Metrics: obs.NewRegistry()}
+			}
+			cfg := dist.Config{Shards: shards, Transport: lt, Pipeline: reduceCfg}
+			res, failed, err := dist.Mine(context.Background(), snap.Documents, base, cfg)
+			if err != nil || len(failed) != 0 {
+				b.Fatalf("err=%v failed=%v", err, failed)
+			}
+			if res.TotalStatements == 0 {
+				b.Fatal("no statements")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAnnotationLayer measures the annotate-once architecture: the
 // cost of annotation vs the cost of one extraction pass over annotations.
 func BenchmarkAnnotationLayer(b *testing.B) {

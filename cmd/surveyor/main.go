@@ -33,10 +33,15 @@
 // second signal kills the process immediately.
 //
 // Observability: -debug-addr starts a live debug server (Prometheus
-// /metrics, /progress, /trace for Perfetto, /em, expvar, pprof); -linger
-// keeps it serving after the run finishes so the final state can be
-// scraped. -report writes a machine-readable JSON run report. Telemetry is
-// write-only — mined results are bit-identical with or without it.
+// /metrics, /progress, /trace for Perfetto, /em, /cluster, expvar, pprof);
+// -linger keeps it serving after the run finishes so the final state can
+// be scraped. -report writes a machine-readable JSON run report. Combined
+// with -distribute, the workers run their own observability and ship it
+// back as telemetry frames: /metrics grows federated surveyor_fleet_*
+// series, /trace stitches every worker's spans onto its own pid track
+// with skew-corrected timestamps, and /cluster shows the per-shard fleet
+// view. Telemetry is write-only — mined results are bit-identical with or
+// without it.
 package main
 
 import (
@@ -75,6 +80,7 @@ func run() int {
 	epochs := flag.Int("epochs", 0, "replay the corpus through the incremental miner in N contiguous epochs (0 = one batch run)")
 	distribute := flag.Int("distribute", 0, "mine with N worker processes, one corpus shard each (0 = single process)")
 	distWorker := flag.Bool("dist-worker", false, "serve one distributed-mining shard on stdin/stdout (internal; launched by -distribute)")
+	distTelemetry := flag.Bool("dist-telemetry", false, "run worker-side observability and ship it back as a telemetry frame (internal; set by -distribute when the coordinator has a live obs sink)")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -102,6 +108,7 @@ func run() int {
 	var o *obs.RunObs
 	if *debugAddr != "" || *reportPath != "" {
 		o = obs.New()
+		o.RegisterBuildInfo()
 	}
 	if *debugAddr != "" {
 		ds, err := obs.StartDebugServer(*debugAddr, o)
@@ -124,8 +131,17 @@ func run() int {
 	// group, so the worker's context cancels alongside the coordinator's;
 	// the all-or-nothing shard commit turns that into a cleanly lost shard.
 	if *distWorker {
+		// -dist-telemetry gives the worker its own observability run; the
+		// frame it ships federates into the coordinator's /metrics, /trace,
+		// and /cluster. Without it the worker is silent (the frame is
+		// optional, so the two modes interoperate freely).
+		var wo *obs.RunObs
+		if *distTelemetry {
+			wo = obs.New()
+			wo.RegisterBuildInfo()
+		}
 		err := surveyor.NewSystemWithBuiltinKB(*seed).ServeWorker(ctx, os.Stdin, os.Stdout,
-			surveyor.Config{Workers: *workers, PatternVersion: *version})
+			surveyor.Config{Workers: *workers, PatternVersion: *version, Obs: wo})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -168,6 +184,9 @@ func run() int {
 			"-seed", strconv.FormatUint(*seed, 10),
 			"-version", strconv.Itoa(*version),
 			"-workers", strconv.Itoa(*workers)}
+		if o != nil {
+			workerCmd = append(workerCmd, "-dist-telemetry")
+		}
 	}
 
 	var res *surveyor.Result

@@ -17,6 +17,7 @@ var determinism = []string{
 	"internal/testkit",
 	"internal/annotate",
 	"internal/wire",
+	"internal/wire/framing",
 	"internal/dist",
 }
 
@@ -40,24 +41,31 @@ var determinismLintExtra = []string{
 
 // allocBound lists the packages where every allocation sized from
 // decoded input must be dominated by a bound check against a named
-// limit (the allocbound analyzer): the wire codec, the annotate codec,
-// and the dist protocol layer that consumes wire's decoders
-// cross-package.
+// limit (the allocbound analyzer): the wire codec and its framing
+// primitives, the annotate codec, the dist protocol layer that consumes
+// wire's decoders cross-package, and the obs telemetry codec (the
+// coordinator decodes worker frames with the same discipline).
 var allocBound = []string{
 	"internal/wire",
+	"internal/wire/framing",
 	"internal/annotate",
 	"internal/dist",
+	"internal/obs",
 }
 
 // errContract lists the packages whose exported functions must return
 // wrapped or typed errors and compare sentinels with errors.Is (the
 // errflow analyzer) — the decode and transport paths where a swallowed
-// or identity-compared error becomes a silent data loss.
+// or identity-compared error becomes a silent data loss. internal/obs
+// joined when it grew its own wire codec (telemetry frames) and
+// federation errors an operator must see.
 var errContract = []string{
 	"internal/wire",
+	"internal/wire/framing",
 	"internal/dist",
 	"internal/incremental",
 	"internal/corpus",
+	"internal/obs",
 }
 
 // claimCommit lists the packages whose worker loops follow PR 5's

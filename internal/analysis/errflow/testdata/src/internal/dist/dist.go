@@ -11,8 +11,8 @@ import (
 
 // Ship discards decode errors two ways.
 func Ship(r io.Reader) []byte {
-	wire.ReadFrame(r)            // want `error result of ReadFrame discarded on a decode/transport path`
-	b, _ := wire.ReadFrame(r)    // want `error result of ReadFrame assigned to _ on a decode/transport path`
+	wire.ReadFrame(r)         // want `error result of ReadFrame discarded on a decode/transport path`
+	b, _ := wire.ReadFrame(r) // want `error result of ReadFrame assigned to _ on a decode/transport path`
 	return b
 }
 

@@ -13,7 +13,9 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -78,14 +80,19 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 	}
 	o := cfg.Pipeline.Obs
 	do := o.Dist()
+	cl := clusterOf(o)
+	do.Workers.Set(float64(shards))
+	cl.StartRun(shards)
 	o.StartRun(len(docs), shards)
 	total := o.Phase("run")
 
 	// Map: launch every shard concurrently. Each slot is owned by exactly
 	// one goroutine, so the outcomes slice needs no lock.
 	type outcome struct {
-		res *ShardResult
-		err error
+		res     *ShardResult
+		tele    *obs.Telemetry
+		teleErr error
+		err     error
 	}
 	outcomes := make([]outcome, shards)
 	lo := make([]int, shards+1)
@@ -98,8 +105,8 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			res, err := runShard(ctx, cfg.Transport, s, lo[s], docs[lo[s]:lo[s+1]], do)
-			outcomes[s] = outcome{res: res, err: err}
+			res, tele, teleErr, err := runShard(ctx, cfg.Transport, s, lo[s], docs[lo[s]:lo[s+1]], do, cl)
+			outcomes[s] = outcome{res: res, tele: tele, teleErr: teleErr, err: err}
 		}(s)
 	}
 	wg.Wait()
@@ -117,13 +124,29 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 		oc := outcomes[s]
 		if oc.err != nil {
 			do.ShardsFailed.Inc()
+			cl.ShardFailed(s, oc.err)
 			failed = append(failed, ShardError{Shard: s, Docs: lo[s+1] - lo[s], Err: oc.err})
 			continue
 		}
 		merge := o.Phase("merge")
 		store.Merge(oc.res.Store)
-		do.ShardMergeMillis.Observe(float64(merge.End()) / float64(time.Millisecond))
+		mergeMillis := float64(merge.End()) / float64(time.Millisecond)
+		do.ShardMergeMillis.Observe(mergeMillis)
 		do.ShardsShipped.Inc()
+		cl.ShardCommitted(s, oc.res.Consumed, len(oc.res.Quarantined), mergeMillis)
+		// Federate telemetry in the same deterministic shard order as the
+		// store fold. Frames are optional and best-effort: a decode failure
+		// degrades to a rejection note, never to a shard failure — the
+		// shard's evidence is already committed.
+		switch {
+		case oc.teleErr != nil:
+			o.RejectShardTelemetry(s, oc.teleErr)
+		case oc.tele != nil:
+			do.TelemetryFrames.Inc()
+			o.AbsorbShardTelemetry(s, oc.tele)
+		default:
+			o.AbsorbShardTelemetry(s, nil)
+		}
 		sentences += oc.res.Sentences
 		quarantined = append(quarantined, oc.res.Quarantined...)
 		documents += oc.res.Consumed - len(oc.res.Quarantined)
@@ -149,42 +172,72 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 	return res, failed, nil
 }
 
+// clusterOf resolves the fleet view of a possibly-nil RunObs. A field
+// access rather than a method keeps the nil-safety here, next to the one
+// caller that needs it.
+func clusterOf(o *obs.RunObs) *obs.Cluster {
+	if o == nil {
+		return nil
+	}
+	return o.Cluster
+}
+
 // runShard drives one worker through the protocol: launch, write the job
-// frame, close the job stream, read the result frames, wait for exit.
-func runShard(ctx context.Context, t Transport, shard, docOffset int, docs []corpus.Document, do *obs.DistObs) (*ShardResult, error) {
+// frame, close the job stream, read the result frames, probe for the
+// optional telemetry frame, wait for exit. The telemetry outcome is
+// reported separately from the shard outcome: tele is the decoded frame
+// (nil when the worker shipped none), teleErr a frame that arrived but
+// failed validation — in neither case does the shard itself fail.
+func runShard(ctx context.Context, t Transport, shard, docOffset int, docs []corpus.Document, do *obs.DistObs, cl *obs.Cluster) (res *ShardResult, tele *obs.Telemetry, teleErr, err error) {
 	if t == nil {
-		return nil, fmt.Errorf("dist: shard %d: nil transport", shard)
+		return nil, nil, nil, fmt.Errorf("dist: shard %d: nil transport", shard)
 	}
 	conn, err := t.Start(ctx, shard)
 	if err != nil {
-		return nil, fmt.Errorf("dist: shard %d start: %w", shard, err)
+		return nil, nil, nil, fmt.Errorf("dist: shard %d start: %w", shard, err)
 	}
+	// The send anchor precedes the job write so the worker's job-received
+	// anchor falls inside the coordinator's [jobSent, resultRecv] window.
+	cl.JobSent(shard, len(docs), 0)
 	wn, err := WriteJob(conn.In(), &Job{Shard: shard, DocOffset: docOffset, Docs: docs})
 	do.WireBytesEncoded.Add(wn)
+	cl.ShardWire(shard, wn, 0)
 	if cerr := conn.In().Close(); err == nil {
 		err = cerr
 	}
-	var res *ShardResult
 	if err == nil {
 		var rn int64
 		res, rn, err = ReadShardResult(conn.Out())
 		do.WireBytesDecoded.Add(rn)
+		cl.ResultReceived(shard, rn)
+	}
+	if err == nil {
+		// Optional telemetry frame after the store frame: a clean EOF means
+		// an old or obs-disabled worker, any other failure is recorded but
+		// cannot un-commit the shard's evidence.
+		var tn int64
+		tele, tn, teleErr = obs.DecodeTelemetry(conn.Out())
+		do.WireBytesDecoded.Add(tn)
+		cl.ShardWire(shard, 0, tn)
+		if errors.Is(teleErr, io.EOF) {
+			tele, teleErr = nil, nil
+		}
 	}
 	if err != nil {
 		conn.Kill()
 		if waitErr := conn.Wait(); waitErr != nil && waitErr != err {
-			return nil, fmt.Errorf("dist: shard %d: %w (worker: %v)", shard, err, waitErr)
+			return nil, nil, nil, fmt.Errorf("dist: shard %d: %w (worker: %v)", shard, err, waitErr)
 		}
-		return nil, fmt.Errorf("dist: shard %d: %w", shard, err)
+		return nil, nil, nil, fmt.Errorf("dist: shard %d: %w", shard, err)
 	}
 	if waitErr := conn.Wait(); waitErr != nil {
-		return nil, fmt.Errorf("dist: shard %d worker exit: %w", shard, waitErr)
+		return nil, nil, nil, fmt.Errorf("dist: shard %d worker exit: %w", shard, waitErr)
 	}
 	if res.Shard != shard {
-		return nil, fmt.Errorf("dist: shard %d: worker answered for shard %d", shard, res.Shard)
+		return nil, nil, nil, fmt.Errorf("dist: shard %d: worker answered for shard %d", shard, res.Shard)
 	}
 	if res.Consumed > len(docs) {
-		return nil, fmt.Errorf("dist: shard %d: consumed %d of %d documents", shard, res.Consumed, len(docs))
+		return nil, nil, nil, fmt.Errorf("dist: shard %d: consumed %d of %d documents", shard, res.Consumed, len(docs))
 	}
-	return res, nil
+	return res, tele, teleErr, nil
 }

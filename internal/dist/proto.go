@@ -1,5 +1,5 @@
-// Wire protocol of the distributed miner. Two message types flow over a
-// worker's pipe pair, both built from the internal/wire frame primitives
+// Wire protocol of the distributed miner. Three message types flow over a
+// worker's pipe pair, all built from the internal/wire frame primitives
 // (magic + version + length + body + FNV-1a checksum, all integers
 // varints):
 //
@@ -9,19 +9,26 @@
 //	                       sentences, quarantine count, ⟨doc, reason⟩
 //	                       per record — followed by one store frame
 //	                       "SVWS" (the evidence delta, wire.EncodeStore)
+//	worker → coordinator   optional telemetry frame "SVTM" (obs package:
+//	                       metric snapshot, spans, clock anchors), after
+//	                       the store frame. Obs-disabled workers omit it;
+//	                       the coordinator treats clean EOF as absent, so
+//	                       the frame is backward- and forward-optional.
 //
 // Protocol state machine (one worker):
 //
-//	IDLE --job frame--> MINING --result+store frames, exit 0--> DONE
-//	                      |  \-- crash / kill ----------------> LOST
-//	                      \---- ctx cancelled, exit nonzero --> LOST
+//	IDLE --job frame--> MINING --result+store [+telemetry], exit 0--> DONE
+//	                      |  \-- crash / kill -----------------------> LOST
+//	                      \---- ctx cancelled, exit nonzero ---------> LOST
 //
 // A LOST worker never writes a partial result: the result frames are
 // written only after extraction completes, so the coordinator either
 // receives a complete, checksummed shard delta or a read error — never a
 // torn one. That all-or-nothing shard commit is what makes the partial
 // result after a crash exactly the batch result minus the lost shard's
-// documents.
+// documents. Telemetry rides strictly after the commit point: a broken or
+// rejected telemetry frame can degrade observability (a rejection counter
+// and a /cluster note) but can never fail, or un-commit, the shard.
 package dist
 
 import (

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/kb"
 	"repro/internal/nlp/lexicon"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -109,6 +110,12 @@ type LocalTransport struct {
 	// shipping its result — deterministic chaos for the crash-differential
 	// suite. The worker still consumes its job, then breaks the pipe.
 	Crash func(shard int) bool
+	// WorkerObs, when non-nil, gives each worker goroutine its own RunObs
+	// (overriding Pipeline.Obs) — the in-process stand-in for each child
+	// process running its own observability, so telemetry frames exercise
+	// the real capture/ship path. Returning nil for a shard makes that
+	// worker silent (no telemetry frame), like an obs-disabled process.
+	WorkerObs func(shard int) *obs.RunObs
 }
 
 // Start implements Transport.
@@ -137,7 +144,11 @@ func (t *LocalTransport) serve(ctx context.Context, shard int, r io.Reader, w io
 		}
 		return ErrInjectedCrash
 	}
-	return RunWorker(ctx, r, w, t.Base, t.Lex, t.Pipeline)
+	cfg := t.Pipeline
+	if t.WorkerObs != nil {
+		cfg.Obs = t.WorkerObs(shard)
+	}
+	return RunWorker(ctx, r, w, t.Base, t.Lex, cfg)
 }
 
 type localConn struct {

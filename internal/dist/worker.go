@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kb"
 	"repro/internal/nlp/lexicon"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -21,7 +22,14 @@ import (
 // has completed, so a cancelled or crashed worker leaves the coordinator
 // with a read error instead of a torn or partial shard. A cancellation
 // mid-extraction returns ctx's error without shipping anything.
+//
+// A worker with a live RunObs appends one optional telemetry frame
+// ("SVTM") after the result frames: its metric snapshot, its collected
+// spans, and the clock anchors the coordinator uses for skew correction.
+// A worker with a nil RunObs ships nothing extra — the coordinator's
+// telemetry probe sees a clean EOF.
 func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config) error {
+	st := cfg.Obs.BeginShardTelemetry()
 	job, _, err := ReadJob(r)
 	if err != nil {
 		return fmt.Errorf("dist: worker read job: %w", err)
@@ -30,6 +38,13 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *
 	if err != nil {
 		return fmt.Errorf("dist: worker shard %d: %w", job.Shard, err)
 	}
+	// The shard totals pipeline.Run would add in its reduce step — the
+	// worker runs only the map step, so it publishes them here and they
+	// reach the coordinator as surveyor_fleet_* series.
+	pm := cfg.Obs.PipelineMetrics()
+	pm.Documents.Add(int64(ext.Consumed - len(ext.Quarantined)))
+	pm.Sentences.Add(ext.Sentences)
+	pm.Statements.Add(ext.Store.TotalStatements())
 	n, err := WriteShardResult(w, &ShardResult{
 		Shard:       job.Shard,
 		Consumed:    ext.Consumed,
@@ -41,5 +56,10 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *
 		return fmt.Errorf("dist: worker shard %d write result: %w", job.Shard, err)
 	}
 	cfg.Obs.Dist().WireBytesEncoded.Add(n)
+	if t := st.Export(); t != nil {
+		if _, err := obs.EncodeTelemetry(w, t); err != nil {
+			return fmt.Errorf("dist: worker shard %d write telemetry: %w", job.Shard, err)
+		}
+	}
 	return nil
 }

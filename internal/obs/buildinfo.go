@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the module version, the Go
+// toolchain, and the VCS revision baked in by the Go build system.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for a plain build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit, with a "+dirty" suffix for modified
+	// trees; "unknown" when the build carried no VCS stamp.
+	Revision string `json:"revision"`
+}
+
+// ReadBuild reads the binary's build identification from the runtime's
+// embedded build info. Missing fields degrade to "unknown" — the gauge
+// and report stay well-formed for test binaries and stripped builds.
+func ReadBuild() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if revision != "" {
+		if modified == "true" {
+			revision += "+dirty"
+		}
+		b.Revision = revision
+	}
+	return b
+}
+
+// MetricBuildInfo is the build-identification gauge: constant 1 per
+// process, with the identification in the help text (the registry has no
+// label support; the JSON report carries the structured form). Federated
+// across a fleet, the surveyor_fleet_build_info sum counts the workers
+// that reported this build.
+const MetricBuildInfo = "surveyor_build_info"
+
+// RegisterBuildInfo publishes the build-identification gauge on the
+// RunObs registry. No-op on a nil RunObs or registry.
+func (o *RunObs) RegisterBuildInfo() {
+	if o == nil {
+		return
+	}
+	b := ReadBuild()
+	o.Metrics.Gauge(MetricBuildInfo, fmt.Sprintf(
+		"build identification (constant 1): version=%s go=%s revision=%s",
+		b.Version, b.GoVersion, b.Revision)).Set(1)
+}

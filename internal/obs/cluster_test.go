@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestClusterLifecycle walks one shard through the full protocol and one
+// through failure, asserting the snapshot reflects each transition.
+func TestClusterLifecycle(t *testing.T) {
+	c := NewCluster(&ManualClock{})
+	c.StartRun(3)
+
+	snap := c.Snapshot()
+	if snap.Workers != 3 {
+		t.Fatalf("workers = %d, want 3", snap.Workers)
+	}
+	for s, v := range snap.Shards {
+		if v.Status != ShardPending {
+			t.Fatalf("shard %d before dispatch: status %q", s, v.Status)
+		}
+	}
+
+	c.JobSent(0, 25, 100)
+	if v := c.Snapshot().Shards[0]; v.Status != ShardMining || v.Docs != 25 || v.WireBytesOut != 100 {
+		t.Fatalf("after JobSent: %+v", v)
+	}
+
+	c.ShardWire(0, 28, 0)
+	c.ResultReceived(0, 512)
+	c.ShardWire(0, 0, 64)
+	c.ShardCommitted(0, 24, 1, 1.25)
+	c.TelemetryAbsorbed(0, 9, 2*time.Millisecond)
+
+	c.JobSent(1, 10, 50)
+	c.ShardFailed(1, errors.New("worker exploded"))
+	c.TelemetryMissing(1, "absent")
+
+	snap = c.Snapshot()
+	if snap.ShardsDone != 1 || snap.ShardsLost != 1 {
+		t.Fatalf("summary = %+v", snap)
+	}
+	if snap.WireBytesOut != 178 || snap.WireBytesIn != 576 {
+		t.Fatalf("wire totals out=%d in=%d, want 178/576", snap.WireBytesOut, snap.WireBytesIn)
+	}
+	v0 := snap.Shards[0]
+	if v0.Status != ShardDone || v0.Consumed != 24 || v0.Quarantined != 1 ||
+		v0.MergeMillis != 1.25 || v0.Spans != 9 || v0.SkewMillis != 2 || v0.Telemetry != "ok" {
+		t.Errorf("shard 0 = %+v", v0)
+	}
+	v1 := snap.Shards[1]
+	if v1.Status != ShardLost || v1.Failure != "worker exploded" || v1.Telemetry != "absent" {
+		t.Errorf("shard 1 = %+v", v1)
+	}
+	if v2 := snap.Shards[2]; v2.Status != ShardPending {
+		t.Errorf("shard 2 = %+v", v2)
+	}
+
+	if got := snap.String(); got != "workers=3 done=1 lost=1 wire_out=178 wire_in=576" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestClusterSkewOffset checks the NTP-midpoint correction against a
+// constructed skew: the worker clock runs 10ms ahead of the coordinator,
+// so the estimated worker→coordinator offset is -10ms.
+func TestClusterSkewOffset(t *testing.T) {
+	clock := &ManualClock{}
+	c := NewCluster(clock)
+	c.StartRun(1)
+
+	clock.Advance(100 * time.Millisecond)
+	c.JobSent(0, 1, 0) // coordinator anchor: sent at 100ms
+
+	// Worker observes [112ms, 148ms] on its own clock — the same window
+	// the coordinator sees as [100ms, 160ms], shifted +10ms and nested
+	// 2ms/12ms inside it.
+	anchor := ClockAnchor{
+		JobReceived: 112 * time.Millisecond,
+		Captured:    148 * time.Millisecond,
+	}
+	clock.Advance(60 * time.Millisecond)
+	c.ResultReceived(0, 0) // coordinator anchor: received at 160ms
+
+	offset, ok := c.skewOffset(0, anchor)
+	if !ok {
+		t.Fatal("skewOffset not ok with both anchor pairs present")
+	}
+	if offset != 0 { // midpoints: coord (100+160)/2 = 130, worker (112+148)/2 = 130
+		t.Fatalf("symmetric window: offset = %v, want 0", offset)
+	}
+
+	// Shift the worker clock 10ms ahead: its midpoint moves to 140ms.
+	anchor.JobReceived += 10 * time.Millisecond
+	anchor.Captured += 10 * time.Millisecond
+	offset, ok = c.skewOffset(0, anchor)
+	if !ok || offset != -10*time.Millisecond {
+		t.Fatalf("offset = %v ok=%v, want -10ms", offset, ok)
+	}
+}
+
+// TestClusterSkewOffsetIncomplete: missing coordinator anchors disable
+// skew correction rather than producing a garbage offset.
+func TestClusterSkewOffsetIncomplete(t *testing.T) {
+	c := NewCluster(&ManualClock{})
+	c.StartRun(2)
+	if _, ok := c.skewOffset(0, ClockAnchor{}); ok {
+		t.Error("skewOffset ok before any anchor")
+	}
+	c.JobSent(0, 1, 0)
+	if _, ok := c.skewOffset(0, ClockAnchor{}); ok {
+		t.Error("skewOffset ok with only the send anchor")
+	}
+	if _, ok := c.skewOffset(7, ClockAnchor{}); ok {
+		t.Error("skewOffset ok for an out-of-range shard")
+	}
+}
+
+// TestClusterNilAndUnstarted: every method is a no-op on a nil cluster,
+// and recording against a never-started or out-of-range shard is ignored.
+func TestClusterNilAndUnstarted(t *testing.T) {
+	var c *Cluster
+	c.StartRun(2)
+	c.JobSent(0, 1, 1)
+	c.ShardWire(0, 1, 1)
+	c.ResultReceived(0, 1)
+	c.ShardCommitted(0, 1, 0, 0)
+	c.ShardFailed(0, errors.New("x"))
+	c.TelemetryAbsorbed(0, 1, 0)
+	c.TelemetryMissing(0, "absent")
+	if snap := c.Snapshot(); snap.Workers != 0 || snap.Shards != nil {
+		t.Errorf("nil cluster snapshot = %+v", snap)
+	}
+	if _, ok := c.skewOffset(0, ClockAnchor{}); ok {
+		t.Error("nil cluster skewOffset ok")
+	}
+
+	fresh := NewCluster(nil)
+	fresh.JobSent(0, 1, 1) // before StartRun: no shard records exist
+	if snap := fresh.Snapshot(); snap.Workers != 0 || snap.Shards != nil {
+		t.Errorf("unstarted cluster snapshot = %+v", snap)
+	}
+
+	started := NewCluster(nil)
+	started.StartRun(1)
+	started.JobSent(5, 1, 1) // out of range: ignored
+	if snap := started.Snapshot(); snap.Shards[0].Status != ShardPending {
+		t.Errorf("out-of-range write mutated shard 0: %+v", snap.Shards[0])
+	}
+}

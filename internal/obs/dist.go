@@ -1,20 +1,35 @@
 package obs
 
+// Metric names shared between the distributed miner's recording side and
+// the debug server's read side (/healthz watches shard failures the same
+// way it watches quarantines).
+const (
+	MetricDistWorkers       = "surveyor_dist_workers"
+	MetricDistShardsFailed  = "surveyor_dist_shards_failed_total"
+	MetricTelemetryRejected = "surveyor_dist_telemetry_rejected_total"
+)
+
 // DistObs is the write-only counter set of the distributed miner
 // (internal/dist): shards shipped over the wire, wire-codec byte volume
-// in both directions, and the coordinator's per-shard merge latency.
-// Like every obs surface it is strictly write-only from the miner's
-// perspective — distributed runs with a live sink are bit-identical to
-// runs with a nil one.
+// in both directions, worker count, telemetry frames federated, and the
+// coordinator's per-shard merge latency. Like every obs surface it is
+// strictly write-only from the miner's perspective — distributed runs
+// with a live sink are bit-identical to runs with a nil one.
 type DistObs struct {
+	// Workers gauges the shard/worker count of the current run.
+	Workers *Gauge // surveyor_dist_workers
 	// ShardsShipped counts shard evidence deltas received and committed by
 	// the coordinator.
 	ShardsShipped *Counter // surveyor_dist_shards_shipped_total
 	// ShardsFailed counts shards lost to worker crashes or protocol
-	// errors; /healthz-style monitors watch this next to quarantines.
+	// errors; /healthz degrades when it is non-zero.
 	ShardsFailed *Counter // surveyor_dist_shards_failed_total
+	// TelemetryFrames counts worker telemetry frames received and
+	// federated by the coordinator.
+	TelemetryFrames *Counter // surveyor_dist_telemetry_frames_total
 	// WireBytesEncoded and WireBytesDecoded count wire-codec traffic:
-	// job frames written to workers, result frames read back.
+	// job frames written to workers, result and telemetry frames read
+	// back.
 	WireBytesEncoded *Counter // surveyor_wire_bytes_encoded_total
 	WireBytesDecoded *Counter // surveyor_wire_bytes_decoded_total
 	// ShardMergeMillis is the per-shard latency of folding one decoded
@@ -35,14 +50,18 @@ func (o *RunObs) Dist() *DistObs {
 		r = o.Metrics
 	}
 	return &DistObs{
+		Workers: r.Gauge(MetricDistWorkers,
+			"worker count of the current distributed run"),
 		ShardsShipped: r.Counter("surveyor_dist_shards_shipped_total",
 			"shard evidence deltas merged by the coordinator"),
-		ShardsFailed: r.Counter("surveyor_dist_shards_failed_total",
+		ShardsFailed: r.Counter(MetricDistShardsFailed,
 			"shards lost to worker crashes or protocol errors"),
+		TelemetryFrames: r.Counter("surveyor_dist_telemetry_frames_total",
+			"worker telemetry frames received by the coordinator"),
 		WireBytesEncoded: r.Counter("surveyor_wire_bytes_encoded_total",
 			"wire-codec bytes encoded (job frames to workers)"),
 		WireBytesDecoded: r.Counter("surveyor_wire_bytes_decoded_total",
-			"wire-codec bytes decoded (result frames from workers)"),
+			"wire-codec bytes decoded (result and telemetry frames from workers)"),
 		ShardMergeMillis: r.Histogram("surveyor_dist_shard_merge_ms",
 			"per-shard evidence merge latency in milliseconds", defaultShardMergeBounds),
 	}

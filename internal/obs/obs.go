@@ -19,7 +19,10 @@
 // observability path costs a single branch per call site.
 package obs
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // RunObs bundles the observability sinks of one pipeline run. Any field
 // may be nil to disable that aspect; a nil *RunObs disables everything.
@@ -34,6 +37,9 @@ type RunObs struct {
 	EM *EMRecorder
 	// Progress is the live run view served by the debug server.
 	Progress *Progress
+	// Cluster is the distributed coordinator's fleet view, served by the
+	// debug server's /cluster endpoint. Nil outside distributed runs.
+	Cluster *Cluster
 	// Clock overrides the time source for spans started through this
 	// RunObs. Nil selects the shared system clock. Tracer and Progress
 	// carry their own clocks (set at construction).
@@ -49,6 +55,7 @@ func New() *RunObs {
 		Tracer:   NewTracer(clock),
 		EM:       NewEMRecorder(),
 		Progress: NewProgress(clock),
+		Cluster:  NewCluster(clock),
 		Clock:    clock,
 	}
 }
@@ -267,4 +274,44 @@ func (o *RunObs) EMGroup(typ, property string, entities int) *EMGroupObs {
 		return nil
 	}
 	return o.EM.Group(typ, property, entities)
+}
+
+// AbsorbShardTelemetry federates one worker's decoded telemetry frame:
+// the metric snapshot folds into the fleet namespace of the registry, the
+// spans stitch into the trace on the shard's pid track with skew-corrected
+// timestamps, and the outcome lands in the cluster view. A nil telemetry
+// records "absent". Federation failures are absorbed here — the shard's
+// evidence already committed, so a bad frame degrades to a rejection
+// counter and a cluster note instead of an error the miner could branch
+// on (the write-only contract).
+func (o *RunObs) AbsorbShardTelemetry(shard int, t *Telemetry) {
+	if o == nil {
+		return
+	}
+	if t == nil {
+		o.Cluster.TelemetryMissing(shard, "absent")
+		return
+	}
+	if err := o.Metrics.AbsorbSnapshot(t.Metrics); err != nil {
+		o.Metrics.Counter(MetricTelemetryRejected,
+			"worker telemetry frames rejected by federation").Inc()
+		o.Cluster.TelemetryMissing(shard, "rejected: "+err.Error())
+		return
+	}
+	offset, _ := o.Cluster.skewOffset(shard, t.Anchor)
+	o.Tracer.AbsorbSpans(WorkerPid(shard), fmt.Sprintf("worker %d", shard), offset, t.Spans)
+	o.Cluster.TelemetryAbsorbed(shard, len(t.Spans), offset)
+}
+
+// RejectShardTelemetry records a telemetry frame that failed wire-level
+// decoding. Like a federation rejection the shard's evidence is already
+// committed, so the damage is observability-only: a rejection counter
+// tick and a cluster note.
+func (o *RunObs) RejectShardTelemetry(shard int, err error) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter(MetricTelemetryRejected,
+		"worker telemetry frames rejected by federation").Inc()
+	o.Cluster.TelemetryMissing(shard, "rejected: "+err.Error())
 }

@@ -230,7 +230,7 @@ func (f *JSONFloat) UnmarshalJSON(b []byte) error {
 	}
 	v, err := strconv.ParseFloat(string(b), 64)
 	if err != nil {
-		return err
+		return fmt.Errorf("obs: parse histogram bound %q: %w", b, err)
 	}
 	*f = JSONFloat(v)
 	return nil

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 )
@@ -11,10 +12,11 @@ import (
 // full metric snapshot, and the EM convergence telemetry.
 type Report struct {
 	// Run identification.
-	GoVersion string `json:"go_version"`
-	Workers   int    `json:"workers"`
-	Rho       int64  `json:"rho"`
-	Version   int    `json:"pattern_version"`
+	GoVersion string    `json:"go_version"`
+	Build     BuildInfo `json:"build"`
+	Workers   int       `json:"workers"`
+	Rho       int64     `json:"rho"`
+	Version   int       `json:"pattern_version"`
 
 	// Corpus and output statistics.
 	Documents         int   `json:"documents"`
@@ -38,31 +40,41 @@ type Report struct {
 	TimingsMillis map[string]int64 `json:"timings_ms"`
 
 	// Telemetry snapshots.
-	Metrics []Metric   `json:"metrics,omitempty"`
-	EM      EMSnapshot `json:"em,omitempty"`
+	Metrics []Metric         `json:"metrics,omitempty"`
+	EM      EMSnapshot       `json:"em,omitempty"`
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 }
 
-// NewReport returns a report pre-filled with toolchain identification.
+// NewReport returns a report pre-filled with toolchain and build
+// identification.
 func NewReport() *Report {
 	return &Report{
 		GoVersion:     runtime.Version(),
+		Build:         ReadBuild(),
 		TimingsMillis: map[string]int64{},
 	}
 }
 
 // Attach fills the telemetry sections from a RunObs (nil leaves them
-// empty).
+// empty). The cluster section appears only when a distributed run
+// populated the fleet view.
 func (r *Report) Attach(o *RunObs) {
 	if o == nil {
 		return
 	}
 	r.Metrics = o.Metrics.Snapshot()
 	r.EM = o.EM.Snapshot()
+	if cs := o.Cluster.Snapshot(); cs.Workers > 0 {
+		r.Cluster = &cs
+	}
 }
 
 // WriteJSON writes the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
 }

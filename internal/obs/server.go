@@ -25,8 +25,9 @@ type DebugServer struct {
 }
 
 // Handler returns the debug mux for o: /metrics (Prometheus text),
-// /progress (JSON), /debug/vars (expvar), /debug/pprof/*, /healthz, and
-// an HTML index at /.
+// /progress (JSON), /trace (Chrome trace events), /em, /cluster (the
+// distributed fleet view), /debug/vars (expvar), /debug/pprof/*,
+// /healthz, and an HTML index at /.
 func Handler(o *RunObs) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -35,7 +36,10 @@ func Handler(o *RunObs) http.Handler {
 		if o != nil {
 			reg = o.Metrics
 		}
-		reg.WritePrometheus(w)
+		if err := reg.WritePrometheus(w); err != nil {
+			// The scrape connection broke mid-write; nothing to salvage.
+			return
+		}
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -53,7 +57,10 @@ func Handler(o *RunObs) http.Handler {
 		if o != nil {
 			t = o.Tracer
 		}
-		t.WriteChromeTrace(w)
+		if err := t.WriteChromeTrace(w); err != nil {
+			// The scrape connection broke mid-write; nothing to salvage.
+			return
+		}
 	})
 	mux.HandleFunc("/em", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -65,19 +72,33 @@ func Handler(o *RunObs) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(rec.Snapshot())
 	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var c *Cluster
+		if o != nil {
+			c = o.Cluster
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Snapshot())
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Degraded is still HTTP 200: the process is serving, but the fault
-		// boundary has been absorbing damage (quarantined documents or
-		// skipped corpus lines) that an operator should look at.
-		var quarantined, skipped int64
+		// boundary has been absorbing damage (quarantined documents, skipped
+		// corpus lines, or lost distributed shards) that an operator should
+		// look at.
+		var quarantined, skipped, failedShards int64
 		if o != nil && o.Metrics != nil {
 			quarantined = o.Metrics.Counter(MetricQuarantinedDocs,
 				"documents quarantined by the per-document panic boundary").Value()
 			skipped = o.Metrics.Counter(MetricSkippedLines,
 				"corpus lines skipped by lenient streaming ingestion").Value()
+			failedShards = o.Metrics.Counter(MetricDistShardsFailed,
+				"shards lost to worker crashes or protocol errors").Value()
 		}
-		if quarantined > 0 || skipped > 0 {
-			fmt.Fprintf(w, "degraded quarantined_docs=%d skipped_lines=%d\n", quarantined, skipped)
+		if quarantined > 0 || skipped > 0 || failedShards > 0 {
+			fmt.Fprintf(w, "degraded quarantined_docs=%d skipped_lines=%d failed_shards=%d\n",
+				quarantined, skipped, failedShards)
 			return
 		}
 		fmt.Fprintln(w, "ok")
@@ -99,6 +120,7 @@ func Handler(o *RunObs) http.Handler {
 <li><a href="/progress">/progress</a> — live run progress (JSON)</li>
 <li><a href="/trace">/trace</a> — Chrome trace events (load in Perfetto)</li>
 <li><a href="/em">/em</a> — EM convergence telemetry (JSON)</li>
+<li><a href="/cluster">/cluster</a> — distributed fleet view: per-shard status, telemetry, skew (JSON)</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — pprof</li>
 </ul></body></html>`)
@@ -160,7 +182,9 @@ func (s *DebugServer) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := s.srv.Shutdown(ctx); err != nil {
-		return s.srv.Close()
+		if cerr := s.srv.Close(); cerr != nil {
+			return fmt.Errorf("obs: debug server close: %w", cerr)
+		}
 	}
 	return nil
 }

@@ -171,6 +171,81 @@ func TestHealthzDegraded(t *testing.T) {
 	}
 }
 
+// TestHealthzDegradedOnFailedShards: lost distributed shards degrade
+// /healthz (still HTTP 200) exactly like quarantines and skipped lines.
+func TestHealthzDegradedOnFailedShards(t *testing.T) {
+	o := populatedRunObs()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	if body, _ := get(t, srv, "/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy run: /healthz = %q", body)
+	}
+	o.Dist().ShardsFailed.Add(2)
+	body, resp := get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded /healthz status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "failed_shards=2") {
+		t.Errorf("/healthz = %q, want degraded with failed-shard count", body)
+	}
+}
+
+// TestClusterEndpoint: /cluster serves the coordinator's fleet view.
+func TestClusterEndpoint(t *testing.T) {
+	o := populatedRunObs()
+	o.Cluster = NewCluster(o.Clock)
+	o.Cluster.StartRun(2)
+	o.Cluster.JobSent(0, 10, 0)
+	o.Cluster.ShardWire(0, 128, 0)
+	o.Cluster.ResultReceived(0, 256)
+	o.Cluster.ShardCommitted(0, 10, 1, 0.5)
+	o.Cluster.TelemetryAbsorbed(0, 7, time.Millisecond)
+	o.Cluster.ShardFailed(1, io.ErrUnexpectedEOF)
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	body, resp := get(t, srv, "/cluster")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/cluster content type = %q", ct)
+	}
+	var snap ClusterSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/cluster: %v", err)
+	}
+	if snap.Workers != 2 || snap.ShardsDone != 1 || snap.ShardsLost != 1 {
+		t.Errorf("/cluster summary = %+v", snap)
+	}
+	if s := snap.Shards[0]; s.Status != ShardDone || s.Spans != 7 || s.Telemetry != "ok" ||
+		s.WireBytesOut != 128 || s.WireBytesIn != 256 {
+		t.Errorf("/cluster shard 0 = %+v", s)
+	}
+	if s := snap.Shards[1]; s.Status != ShardLost || s.Failure == "" {
+		t.Errorf("/cluster shard 1 = %+v", s)
+	}
+
+	if body, _ := get(t, srv, "/"); !strings.Contains(body, "/cluster") {
+		t.Error("index page missing /cluster link")
+	}
+}
+
+// TestBuildInfoMetric: RegisterBuildInfo publishes the build-identification
+// gauge on /metrics.
+func TestBuildInfoMetric(t *testing.T) {
+	o := populatedRunObs()
+	o.RegisterBuildInfo()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+	body, _ := get(t, srv, "/metrics")
+	if !strings.Contains(body, MetricBuildInfo+" 1") {
+		t.Errorf("/metrics missing %s gauge in:\n%s", MetricBuildInfo, body)
+	}
+	bi := ReadBuild()
+	if bi.GoVersion == "" || bi.Version == "" || bi.Revision == "" {
+		t.Errorf("ReadBuild left fields empty: %+v", bi)
+	}
+}
+
 // TestCloseGraceful asserts Close lets an in-flight scrape finish instead
 // of dropping the connection: a pprof CPU profile held open across Close
 // must still complete with a full response.

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +31,7 @@ type Tracer struct {
 
 	mu      sync.Mutex
 	events  []traceEvent
+	procs   map[int]string // foreign pid → process label, for trace metadata
 	dropped atomic.Int64
 }
 
@@ -51,6 +54,7 @@ func NewTracer(clock Clock) *Tracer {
 type traceEvent struct {
 	name     string
 	cat      string
+	pid      int // 0 renders as CoordinatorPid (the local process)
 	tid      int64
 	start    time.Duration
 	duration time.Duration
@@ -59,6 +63,15 @@ type traceEvent struct {
 
 // tid values: phases render on thread 0, worker w on thread w+1.
 const phaseTid = 0
+
+// Process tracks of a stitched distributed trace: the coordinator's own
+// spans render on pid 1, and shard s's worker spans on WorkerPid(s) — a
+// distinct track per worker process, skew-corrected onto the
+// coordinator's clock.
+const CoordinatorPid = 1
+
+// WorkerPid returns the trace process id of shard's worker.
+func WorkerPid(shard int) int { return shard + 2 }
 
 // append folds events into the shared buffer.
 func (t *Tracer) append(evs ...traceEvent) {
@@ -165,6 +178,95 @@ func (wt *WorkerTrace) close(phase string, loopStart, loopEnd time.Duration, doc
 	wt.events = nil
 }
 
+// SpanEvent is the exported, passive form of one collected span: what
+// Events returns and what a worker's telemetry frame ships to the
+// coordinator. Args are sorted by key so the encoding of the same span
+// set is always the same bytes.
+type SpanEvent struct {
+	Name       string
+	Cat        string
+	Pid        int // 0 = the collecting process itself
+	Tid        int64
+	Start, Dur time.Duration
+	Args       []SpanArg
+}
+
+// SpanArg is one key/value annotation of a span.
+type SpanArg struct {
+	Key   string
+	Value int64
+}
+
+// Events returns the collected spans in collection order, args sorted by
+// key. This is a read-side API: it serves the telemetry exporter and
+// tests, never instrumented pipeline code (the obsflow contract).
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	out := make([]SpanEvent, len(events))
+	for i, e := range events {
+		out[i] = SpanEvent{
+			Name: e.name, Cat: e.cat, Pid: e.pid, Tid: e.tid,
+			Start: e.start, Dur: e.duration, Args: sortedArgs(e.args),
+		}
+	}
+	return out
+}
+
+// sortedArgs flattens an args map into a key-sorted slice.
+func sortedArgs(args map[string]int64) []SpanArg {
+	if len(args) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SpanArg, len(keys))
+	for i, k := range keys {
+		out[i] = SpanArg{Key: k, Value: args[k]}
+	}
+	return out
+}
+
+// AbsorbSpans stitches foreign spans (a worker's, decoded from its
+// telemetry frame) into this tracer under the given trace pid and
+// process label, shifting every start timestamp by offset — the skew
+// correction that aligns the worker's clock with the coordinator's.
+func (t *Tracer) AbsorbSpans(pid int, label string, offset time.Duration, spans []SpanEvent) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	events := make([]traceEvent, len(spans))
+	for i, s := range spans {
+		ev := traceEvent{
+			name: s.Name, cat: s.Cat, pid: pid, tid: s.Tid,
+			start: s.Start + offset, duration: s.Dur,
+		}
+		if len(s.Args) > 0 {
+			ev.args = make(map[string]int64, len(s.Args))
+			for _, a := range s.Args {
+				ev.args[a.Key] = a.Value
+			}
+		}
+		events[i] = ev
+	}
+	t.mu.Lock()
+	t.events = append(t.events, events...)
+	if t.procs == nil {
+		t.procs = map[int]string{}
+	}
+	t.procs[pid] = label
+	t.mu.Unlock()
+}
+
 // chromeEvent is the JSON shape of one trace event.
 type chromeEvent struct {
 	Name string           `json:"name"`
@@ -177,36 +279,79 @@ type chromeEvent struct {
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
+// chromeMeta is a metadata record ("ph":"M") naming a process track.
+type chromeMeta struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Args struct {
+		Name string `json:"name"`
+	} `json:"args"`
+}
+
+// processName builds one process_name metadata event.
+func processName(pid int, label string) chromeMeta {
+	m := chromeMeta{Name: "process_name", Ph: "M", Pid: pid}
+	m.Args.Name = label
+	return m
+}
+
 // WriteChromeTrace exports the collected spans as Chrome trace-event JSON
 // ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev) and
-// chrome://tracing.
+// chrome://tracing. Spans absorbed from workers render on their own pid
+// tracks, named by process_name metadata records.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[]}`)
-		return err
+		if err != nil {
+			return fmt.Errorf("obs: write trace: %w", err)
+		}
+		return nil
 	}
 	t.mu.Lock()
 	events := make([]traceEvent, len(t.events))
 	copy(events, t.events)
+	procs := make([]chromeMeta, 0, len(t.procs)+1)
+	if len(t.procs) > 0 {
+		pids := make([]int, 0, len(t.procs))
+		for pid := range t.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		procs = append(procs, processName(CoordinatorPid, "coordinator"))
+		for _, pid := range pids {
+			procs = append(procs, processName(pid, t.procs[pid]))
+		}
+	}
 	t.mu.Unlock()
 
 	out := struct {
-		TraceEvents []chromeEvent `json:"traceEvents"`
-	}{TraceEvents: make([]chromeEvent, len(events))}
-	for i, e := range events {
-		out.TraceEvents[i] = chromeEvent{
+		TraceEvents []any `json:"traceEvents"`
+	}{TraceEvents: make([]any, 0, len(events)+len(procs))}
+	for _, m := range procs {
+		out.TraceEvents = append(out.TraceEvents, m)
+	}
+	for _, e := range events {
+		pid := e.pid
+		if pid == 0 {
+			pid = CoordinatorPid
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: e.name,
 			Cat:  e.cat,
 			Ph:   "X",
 			Ts:   float64(e.start.Nanoseconds()) / 1e3,
 			Dur:  float64(e.duration.Nanoseconds()) / 1e3,
-			Pid:  1,
+			Pid:  pid,
 			Tid:  e.tid,
 			Args: e.args,
-		}
+		})
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return nil
 }
 
 // EventCount returns the number of collected spans.

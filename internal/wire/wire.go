@@ -2,7 +2,10 @@
 // compact, length-prefixed, checksummed frame codec for evidence.Store
 // snapshots and the low-level primitives (varint encoder/decoder, framed
 // payloads) the coordinator/worker protocol of internal/dist builds its
-// messages from.
+// messages from. The primitives live in the dependency-free subpackage
+// framing (so internal/obs can build its telemetry codec on them without
+// importing the evidence graph) and are re-exported here — wire remains
+// the one name protocol code imports.
 //
 // Frame layout (all integers unsigned varints unless noted):
 //
@@ -28,32 +31,29 @@
 package wire
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 
 	"repro/internal/evidence"
 	"repro/internal/kb"
+	"repro/internal/wire/framing"
 )
 
-// Format limits. They bound what a decoder will allocate on behalf of a
-// frame before its content has proven itself.
+// Format limits, re-exported from framing. They bound what a decoder
+// will allocate on behalf of a frame before its content has proven
+// itself.
 const (
 	// Version is the wire-format version emitted by this package.
-	Version = 1
+	Version = framing.Version
 	// MaxFrameBytes caps one frame body (1 GiB). Evidence snapshots are
 	// compact — the paper's 40TB crawl reduced to counters — so a larger
 	// declared length is corruption, not data.
-	MaxFrameBytes = 1 << 30
+	MaxFrameBytes = framing.MaxFrameBytes
 	// MaxStringLen caps one length-prefixed string inside a body, matching
 	// the annotate codec's property bound.
-	MaxStringLen = 1 << 20
-	// initialAlloc caps what a decoder allocates before the declared
-	// length has been backed by actual bytes.
-	initialAlloc = 1 << 20
+	MaxStringLen = framing.MaxStringLen
 )
 
 // StoreMagic marks an evidence-store snapshot frame.
@@ -61,215 +61,37 @@ const StoreMagic = "SVWS"
 
 // ErrBadMagic reports a frame whose magic does not match the expected
 // frame type. Distinguished so protocol code can detect stream desync.
-var ErrBadMagic = errors.New("wire: bad frame magic")
+var ErrBadMagic = framing.ErrBadMagic
 
 // ErrChecksum reports a frame whose body failed checksum validation.
-var ErrChecksum = errors.New("wire: frame checksum mismatch")
-
-// --- body encoder ----------------------------------------------------------
+var ErrChecksum = framing.ErrChecksum
 
 // Encoder appends varint-encoded values to a byte slice — the body half
 // of a frame. The zero value is ready to use.
-type Encoder struct {
-	buf []byte
-}
-
-// NewEncoder returns an encoder with a pre-sized buffer.
-func NewEncoder(sizeHint int) *Encoder {
-	return &Encoder{buf: make([]byte, 0, sizeHint)}
-}
-
-// Uvarint appends one unsigned varint.
-func (e *Encoder) Uvarint(v uint64) {
-	e.buf = binary.AppendUvarint(e.buf, v)
-}
-
-// String appends one length-prefixed string.
-func (e *Encoder) String(s string) {
-	e.Uvarint(uint64(len(s)))
-	e.buf = append(e.buf, s...)
-}
-
-// Bytes returns the encoded body. The slice aliases the encoder's
-// buffer; it is valid until the next append.
-func (e *Encoder) Bytes() []byte { return e.buf }
-
-// Len returns the encoded body length so far.
-func (e *Encoder) Len() int { return len(e.buf) }
-
-// --- body decoder ----------------------------------------------------------
+type Encoder = framing.Encoder
 
 // Decoder consumes varint-encoded values from a byte slice. The first
 // error sticks: every later read returns zero values.
-type Decoder struct {
-	buf []byte
-	off int
-	err error
-}
+type Decoder = framing.Decoder
+
+// NewEncoder returns an encoder with a pre-sized buffer.
+func NewEncoder(sizeHint int) *Encoder { return framing.NewEncoder(sizeHint) }
 
 // NewDecoder returns a decoder over body.
-func NewDecoder(body []byte) *Decoder { return &Decoder{buf: body} }
-
-// Err returns the sticky decode error, if any.
-func (d *Decoder) Err() error { return d.err }
-
-// Remaining returns the number of unconsumed bytes.
-func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
-
-func (d *Decoder) fail(format string, args ...any) {
-	if d.err == nil {
-		d.err = fmt.Errorf("wire: "+format, args...)
-	}
-}
-
-// Uvarint consumes one unsigned varint.
-func (d *Decoder) Uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
-		d.fail("truncated or malformed varint at offset %d", d.off)
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-// String consumes one length-prefixed string, bounds-checked against
-// MaxStringLen and the remaining body.
-func (d *Decoder) String() string { return d.StringMax(MaxStringLen) }
-
-// StringMax consumes one length-prefixed string under an explicit length
-// cap, for fields (document text) whose legitimate size exceeds
-// MaxStringLen.
-func (d *Decoder) StringMax(max int) string {
-	n := d.Uvarint()
-	if d.err != nil {
-		return ""
-	}
-	if n > uint64(max) {
-		d.fail("string length %d exceeds limit %d", n, max)
-		return ""
-	}
-	if n > uint64(d.Remaining()) {
-		d.fail("string length %d exceeds remaining body %d", n, d.Remaining())
-		return ""
-	}
-	s := string(d.buf[d.off : d.off+int(n)])
-	d.off += int(n)
-	return s
-}
-
-// --- framing ---------------------------------------------------------------
+func NewDecoder(body []byte) *Decoder { return framing.NewDecoder(body) }
 
 // WriteFrame writes one framed body: magic, version byte, uvarint length,
 // body, FNV-1a checksum. Returns the total bytes written.
 func WriteFrame(w io.Writer, magic string, body []byte) (int64, error) {
-	if len(magic) != 4 {
-		return 0, fmt.Errorf("wire: frame magic %q must be 4 bytes", magic)
-	}
-	var hdr [4 + 1 + binary.MaxVarintLen64]byte
-	n := copy(hdr[:], magic)
-	hdr[n] = Version
-	n++
-	n += binary.PutUvarint(hdr[n:], uint64(len(body)))
-	written := int64(0)
-	for _, chunk := range [][]byte{hdr[:n], body, checksum(body)} {
-		m, err := w.Write(chunk)
-		written += int64(m)
-		if err != nil {
-			return written, fmt.Errorf("wire: write frame: %w", err)
-		}
-	}
-	return written, nil
-}
-
-// checksum returns the 8-byte little-endian FNV-1a digest of body.
-func checksum(body []byte) []byte {
-	h := fnv.New64a()
-	h.Write(body)
-	var sum [8]byte
-	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
-	return sum[:]
+	return framing.WriteFrame(w, magic, body)
 }
 
 // ReadFrame reads one framed body written by WriteFrame, validating the
 // magic, version, declared length, and checksum. Returns the body and the
 // total bytes consumed. io.EOF is returned unwrapped when the stream ends
 // cleanly before the first magic byte, so callers can iterate frames.
-//
-// Allocation is bounded: the body buffer starts at min(length,
-// initialAlloc) and grows only as actual bytes arrive, so a forged
-// multi-gigabyte length costs a bounded allocation before the truncated
-// read fails.
 func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
-	var hdr [5]byte
-	m, err := io.ReadFull(r, hdr[:])
-	n = int64(m)
-	if err != nil {
-		if errors.Is(err, io.EOF) && m == 0 {
-			return nil, 0, io.EOF //lint:allow errflow documented clean-EOF contract: callers iterate frames by matching io.EOF
-		}
-		return nil, n, fmt.Errorf("wire: read frame header: %w", err)
-	}
-	if string(hdr[:4]) != magic {
-		return nil, n, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, hdr[:4], magic)
-	}
-	if hdr[4] != Version {
-		return nil, n, fmt.Errorf("wire: unsupported frame version %d (want %d)", hdr[4], Version)
-	}
-	length, m2, err := readUvarint(r)
-	n += int64(m2)
-	if err != nil {
-		return nil, n, fmt.Errorf("wire: read frame length: %w", err)
-	}
-	if length > MaxFrameBytes {
-		return nil, n, fmt.Errorf("wire: frame length %d exceeds limit %d", length, MaxFrameBytes)
-	}
-	body = make([]byte, 0, min(length, initialAlloc))
-	for uint64(len(body)) < length {
-		chunk := min(length-uint64(len(body)), initialAlloc)
-		start := len(body)
-		body = append(body, make([]byte, chunk)...)
-		m, err := io.ReadFull(r, body[start:])
-		n += int64(m)
-		if err != nil {
-			return nil, n, fmt.Errorf("wire: read frame body: %w", err)
-		}
-	}
-	var sum [8]byte
-	m, err = io.ReadFull(r, sum[:])
-	n += int64(m)
-	if err != nil {
-		return nil, n, fmt.Errorf("wire: read frame checksum: %w", err)
-	}
-	h := fnv.New64a()
-	h.Write(body)
-	if binary.LittleEndian.Uint64(sum[:]) != h.Sum64() {
-		return nil, n, ErrChecksum
-	}
-	return body, n, nil
-}
-
-// readUvarint reads one varint from r byte by byte, counting consumed
-// bytes (bufio would read ahead and desync the frame stream).
-func readUvarint(r io.Reader) (uint64, int, error) {
-	var v uint64
-	var b [1]byte
-	for shift, read := 0, 0; ; shift += 7 {
-		if shift >= 64 {
-			return 0, read, errors.New("varint overflows uint64")
-		}
-		if _, err := io.ReadFull(r, b[:]); err != nil {
-			return 0, read, err
-		}
-		read++
-		v |= uint64(b[0]&0x7f) << shift
-		if b[0] < 0x80 {
-			return v, read, nil
-		}
-	}
+	return framing.ReadFrame(r, magic)
 }
 
 // --- evidence store codec --------------------------------------------------
@@ -305,7 +127,7 @@ func DecodeStoreBody(body []byte) (*evidence.Store, error) {
 	d := NewDecoder(body)
 	count := d.Uvarint()
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("wire: store entry count: %w", err)
 	}
 	// Each entry is at least 4 bytes (three varints and an empty string's
 	// length prefix), so the remaining body bounds the plausible count.

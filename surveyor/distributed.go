@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // DistributedOptions configures MineDistributed.
@@ -67,7 +68,14 @@ func (s *System) MineDistributed(ctx context.Context, docs []Document, opts Dist
 			Stderr: opts.Stderr,
 		}
 	} else {
-		transport = &dist.LocalTransport{Base: s.kb, Lex: s.lex, Pipeline: pcfg}
+		lt := &dist.LocalTransport{Base: s.kb, Lex: s.lex, Pipeline: pcfg}
+		if pcfg.Obs != nil {
+			// Mirror the multi-process reality in-process: each worker runs
+			// its own observability and ships it back as a telemetry frame,
+			// rather than writing into the coordinator's registry directly.
+			lt.WorkerObs = func(int) *obs.RunObs { return obs.New() }
+		}
+		transport = lt
 	}
 	pres, shardErrs, err := dist.Mine(ctx, internalDocs, s.kb, dist.Config{
 		Shards:    opts.Workers,
