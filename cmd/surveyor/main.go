@@ -6,6 +6,8 @@
 //
 //	surveyor [-rho N] [-version 1..4] [-workers N] [-top K] [-in FILE]
 //	         [-stream] [-lenient] [-epochs N] [-distribute N]
+//	         [-dist-retries N] [-dist-backoff DUR] [-dist-deadline DUR]
+//	         [-dist-connect ADDRS | -dist-listen ADDR [-dist-heartbeat DUR]]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //	         [-debug-addr ADDR] [-linger DUR] [-report FILE]
 //
@@ -24,13 +26,28 @@
 // this binary in a hidden worker mode and extracting evidence from one
 // contiguous corpus shard; the coordinator merges the shipped evidence
 // deltas and models the union once. Output is bit-identical to the
-// single-process run. A crashed worker costs only its shard (reported on
-// stderr); the run continues. Incompatible with -stream and -epochs.
+// single-process run. The scheduler self-heals: a crashed or hung worker's
+// shard is retried on a fresh worker up to -dist-retries times, backing
+// off with seeded jitter between attempts (-dist-backoff) and reclaiming
+// attempts that outlive -dist-deadline. Only a shard whose whole budget
+// is exhausted is lost (reported on stderr); the run continues.
+// Incompatible with -stream and -epochs.
+//
+// -dist-connect ADDR[,ADDR...] makes -distribute dial standalone socket
+// workers instead of forking children: each shard attempt is one TCP
+// connection to a worker server started elsewhere with -dist-listen ADDR.
+// Socket workers interleave heartbeat frames while mining (-dist-heartbeat
+// sets their cadence) so the coordinator can tell a slow shard from a
+// dead link, and dial failures reconnect with backoff across the listed
+// endpoints. Output remains bit-identical to the single-process run.
 //
 // SIGINT/SIGTERM cancel the run at document granularity: the documents
-// processed so far are still grouped and modelled, the partial statistics
-// and -report are flushed on the way down, and the process exits 130. A
-// second signal kills the process immediately.
+// processed so far are still grouped and modelled, worker children are
+// killed and reaped, the partial statistics and -report are flushed on
+// the way down, and the process exits 130. A second signal kills the
+// process immediately; orphaned workers notice the dead coordinator (a
+// parent watch in -dist-worker mode, a peer-close watch on socket
+// connections) and exit on their own.
 //
 // Observability: -debug-addr starts a live debug server (Prometheus
 // /metrics, /progress, /trace for Perfetto, /em, /cluster, expvar, pprof);
@@ -49,10 +66,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,6 +100,14 @@ func run() int {
 	distribute := flag.Int("distribute", 0, "mine with N worker processes, one corpus shard each (0 = single process)")
 	distWorker := flag.Bool("dist-worker", false, "serve one distributed-mining shard on stdin/stdout (internal; launched by -distribute)")
 	distTelemetry := flag.Bool("dist-telemetry", false, "run worker-side observability and ship it back as a telemetry frame (internal; set by -distribute when the coordinator has a live obs sink)")
+	distRetries := flag.Int("dist-retries", 3, "total worker attempts per shard before the shard is lost (with -distribute; 1 disables retry)")
+	distBackoff := flag.Duration("dist-backoff", 100*time.Millisecond, "base backoff before a shard retry, doubled per attempt with seeded jitter (with -distribute)")
+	distDeadline := flag.Duration("dist-deadline", 0, "per-shard attempt deadline; a worker past it is presumed hung and the shard reassigned (with -distribute; 0 = none)")
+	distListen := flag.String("dist-listen", "", "serve as a standalone socket worker on this address (e.g. :7070) until interrupted")
+	distConnect := flag.String("dist-connect", "", "comma-separated socket worker addresses; -distribute dials these instead of forking children")
+	distHeartbeat := flag.Duration("dist-heartbeat", time.Second, "liveness heartbeat interval of a socket worker (with -dist-listen)")
+	distAttempt := flag.Int("dist-attempt", 0, "which retry attempt this worker serves (internal; set by the coordinator)")
+	distFlakeUntil := flag.Int("dist-flake-until", 0, "crash worker attempts below this attempt number (internal; fault injection for the retry tests)")
 	seed := flag.Uint64("seed", 1, "seed for the demo snapshot")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -120,10 +147,25 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/ (metrics, progress, trace, em, pprof)\n", ds.Addr)
 	}
 
-	// SIGINT/SIGTERM cancel the mining run; stopSignals restores default
-	// signal handling afterwards, so a second signal (or one during
-	// -linger) kills the process outright.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM cancel the mining run. The first signal cancels the
+	// context — worker children are killed through it, socket connections
+	// close, and the partial result is still reported on the way down. A
+	// second signal kills the process immediately: children notice the
+	// dead coordinator on their own (parent watch, broken pipes,
+	// peer-close watch) instead of surviving as orphans. stopSignals
+	// restores default signal handling after mining, so a signal during
+	// -linger also kills the process outright.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+	stopSignals := func() { signal.Stop(sigc) }
 	defer stopSignals()
 
 	// Hidden worker mode: serve one distributed-mining shard on
@@ -131,6 +173,16 @@ func run() int {
 	// group, so the worker's context cancels alongside the coordinator's;
 	// the all-or-nothing shard commit turns that into a cleanly lost shard.
 	if *distWorker {
+		// Fault injection for the retry suite: attempts below the flake
+		// threshold crash before speaking the protocol, like a worker box
+		// dying mid-job. The coordinator's scheduler must heal them.
+		if *distFlakeUntil > 0 && *distAttempt < *distFlakeUntil {
+			fmt.Fprintf(os.Stderr, "injected flake: attempt %d < %d\n", *distAttempt, *distFlakeUntil)
+			return 3
+		}
+		// A worker whose coordinator died a hard death (second SIGINT,
+		// kill -9) is reparented to init; stop mining for nobody.
+		go watchParent(cancel)
 		// -dist-telemetry gives the worker its own observability run; the
 		// frame it ships federates into the coordinator's /metrics, /trace,
 		// and /cluster. Without it the worker is silent (the frame is
@@ -148,8 +200,37 @@ func run() int {
 		}
 		return 0
 	}
+
+	// Standalone socket worker: serve shard attempts over TCP until
+	// interrupted. Coordinators reach it with -distribute N -dist-connect.
+	if *distListen != "" {
+		var wo *obs.RunObs
+		if *distTelemetry {
+			wo = obs.New()
+			wo.RegisterBuildInfo()
+		}
+		ln, err := net.Listen("tcp", *distListen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "socket worker listening on %s\n", ln.Addr())
+		err = surveyor.NewSystemWithBuiltinKB(*seed).ServeSocketWorker(ctx, ln,
+			surveyor.Config{Workers: *workers, PatternVersion: *version, Obs: wo},
+			surveyor.SocketWorkerOptions{Heartbeat: *distHeartbeat, ErrLog: os.Stderr})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
 	if *distribute > 0 && (*stream || *epochs > 0) {
 		fmt.Fprintln(os.Stderr, "-distribute shards the in-memory corpus; it cannot be combined with -stream or -epochs")
+		return 1
+	}
+	if *distConnect != "" && *distribute <= 0 {
+		fmt.Fprintln(os.Stderr, "-dist-connect needs -distribute N to say how many shards to dial out")
 		return 1
 	}
 
@@ -170,22 +251,41 @@ func run() int {
 		Obs:            o,
 	}
 
-	// The distributed coordinator re-executes this binary in worker mode;
-	// the worker flags reconstruct the same knowledge base and extraction
-	// configuration.
-	var workerCmd []string
-	if *distribute > 0 {
+	// The distributed coordinator re-executes this binary in worker mode
+	// (or dials out to -dist-connect socket workers); the worker flags
+	// reconstruct the same knowledge base and extraction configuration.
+	distOpts := surveyor.DistributedOptions{
+		Workers:       *distribute,
+		Retries:       *distRetries,
+		RetryBackoff:  *distBackoff,
+		ShardDeadline: *distDeadline,
+		Seed:          *seed,
+		Stderr:        os.Stderr,
+	}
+	if *distConnect != "" {
+		distOpts.Connect = strings.Split(*distConnect, ",")
+	} else if *distribute > 0 {
 		exe, err := os.Executable()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		workerCmd = []string{exe, "-dist-worker",
+		workerCmd := []string{exe, "-dist-worker",
 			"-seed", strconv.FormatUint(*seed, 10),
 			"-version", strconv.Itoa(*version),
 			"-workers", strconv.Itoa(*workers)}
 		if o != nil {
 			workerCmd = append(workerCmd, "-dist-telemetry")
+		}
+		if *distFlakeUntil > 0 {
+			workerCmd = append(workerCmd, "-dist-flake-until", strconv.Itoa(*distFlakeUntil))
+		}
+		distOpts.Command = workerCmd
+		// Tell each launched worker which retry attempt it serves, so the
+		// flake injector (and any future attempt-aware behavior) can key
+		// off it.
+		distOpts.WorkerAttempt = func(_, attempt int) []string {
+			return []string{"-dist-attempt", strconv.Itoa(attempt)}
 		}
 	}
 
@@ -221,7 +321,7 @@ func run() int {
 		if loadSkipped = it.Stats().Skipped(); loadSkipped > 0 {
 			fmt.Fprintf(os.Stderr, "skipped %d malformed or oversized corpus lines\n", loadSkipped)
 		}
-		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, *distribute, workerCmd)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, distOpts)
 	default:
 		var docs []surveyor.Document
 		base := kb.Default(*seed)
@@ -231,7 +331,7 @@ func run() int {
 			docs = append(docs, surveyor.Document{URL: d.URL, Domain: d.Domain, Text: d.Text})
 		}
 		fmt.Fprintf(os.Stderr, "generated demo snapshot: %d documents\n", len(docs))
-		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, *distribute, workerCmd)
+		res, mineErr = mine(ctx, sys, docs, cfg, *epochs, distOpts)
 	}
 	stopSignals()
 
@@ -304,18 +404,15 @@ func run() int {
 }
 
 // mine runs an in-memory corpus as one batch (the default), across
-// distribute worker processes, or through the incremental miner in epochs
-// contiguous epochs (printing per-epoch stats). All paths produce
+// distributed workers (child processes or socket workers, with the
+// self-healing retry scheduler), or through the incremental miner in
+// epochs contiguous epochs (printing per-epoch stats). All paths produce
 // bit-identical results.
-func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, cfg surveyor.Config, epochs, distribute int, workerCmd []string) (*surveyor.Result, error) {
-	if distribute > 0 {
-		res, failures, err := sys.MineDistributed(ctx, docs, surveyor.DistributedOptions{
-			Workers: distribute,
-			Command: workerCmd,
-			Stderr:  os.Stderr,
-		}, cfg)
+func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, cfg surveyor.Config, epochs int, distOpts surveyor.DistributedOptions) (*surveyor.Result, error) {
+	if distOpts.Workers > 0 {
+		res, failures, err := sys.MineDistributed(ctx, docs, distOpts, cfg)
 		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "shard %d lost (%d docs): %v\n", f.Shard, f.Docs, f.Err)
+			fmt.Fprintf(os.Stderr, "shard %d lost (%d docs, %d attempts): %v\n", f.Shard, f.Docs, f.Attempts, f.Err)
 		}
 		return res, err
 	}
@@ -343,6 +440,17 @@ func mine(ctx context.Context, sys *surveyor.System, docs []surveyor.Document, c
 			st.Duration.Milliseconds())
 	}
 	return m.Snapshot(), nil
+}
+
+// watchParent cancels the worker's context once the process has been
+// reparented to init — its coordinator died a hard death (second SIGINT,
+// kill -9) without killing its children, and mining for a dead
+// coordinator would leak a full-CPU orphan.
+func watchParent(cancel context.CancelFunc) {
+	for os.Getppid() != 1 {
+		time.Sleep(500 * time.Millisecond)
+	}
+	cancel()
 }
 
 // writeReport fills an obs.Report from the run statistics and telemetry

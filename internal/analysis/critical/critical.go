@@ -43,8 +43,10 @@ var determinismLintExtra = []string{
 // decoded input must be dominated by a bound check against a named
 // limit (the allocbound analyzer): the wire codec and its framing
 // primitives, the annotate codec, the dist protocol layer that consumes
-// wire's decoders cross-package, and the obs telemetry codec (the
-// coordinator decodes worker frames with the same discipline).
+// wire's decoders cross-package (the job/result codecs and the socket
+// demultiplexer's heartbeat decoding alike — both read sizes straight
+// off the network), and the obs telemetry codec (the coordinator
+// decodes worker frames with the same discipline).
 var allocBound = []string{
 	"internal/wire",
 	"internal/wire/framing",
@@ -58,7 +60,10 @@ var allocBound = []string{
 // errflow analyzer) — the decode and transport paths where a swallowed
 // or identity-compared error becomes a silent data loss. internal/obs
 // joined when it grew its own wire codec (telemetry frames) and
-// federation errors an operator must see.
+// federation errors an operator must see; internal/dist's membership
+// covers the self-healing scheduler and the socket transport, whose
+// retry decisions hinge on errors.Is against typed sentinels
+// (ErrShardDeadline, the injected-fault markers).
 var errContract = []string{
 	"internal/wire",
 	"internal/wire/framing",
@@ -71,7 +76,9 @@ var errContract = []string{
 // claimCommit lists the packages whose worker loops follow PR 5's
 // "claimed documents always finish" rule: cancellation may be observed
 // before claiming a document, never between claim and commit (the
-// ctxflow analyzer).
+// ctxflow analyzer). In internal/dist the same discipline governs the
+// retry scheduler: an attempt may be abandoned at its deadline, but a
+// shard commits all-or-nothing through its exactly-once commit cell.
 var claimCommit = []string{
 	"internal/pipeline",
 	"internal/dist",

@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -39,22 +38,32 @@ type Config struct {
 	// extraction settings (Version, threads per worker, Fault) live on the
 	// transport's worker, not here.
 	Pipeline pipeline.Config
+	// Retry is the self-healing policy: attempt budget, backoff, and
+	// per-shard deadline. The zero value keeps the historical
+	// one-attempt-per-shard behavior.
+	Retry RetryPolicy
 }
 
-// ShardError reports one shard whose worker failed — crashed, was
-// killed, spoke a broken protocol, or was cancelled. The run's result
-// excludes exactly that shard's documents.
+// ShardError reports one shard whose retry budget was exhausted — every
+// attempt crashed, was killed, spoke a broken protocol, timed out, or was
+// cancelled. The run's result excludes exactly that shard's documents.
 type ShardError struct {
 	// Shard is the failed shard's index.
 	Shard int
 	// Docs is the number of corpus documents the shard covered (and the
 	// partial result is therefore missing).
 	Docs int
-	// Err is the underlying failure.
+	// Attempts is the number of workers the scheduler burned on the shard
+	// before giving up.
+	Attempts int
+	// Err is the final attempt's failure.
 	Err error
 }
 
 func (e *ShardError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("dist: shard %d (%d docs, %d attempts): %v", e.Shard, e.Docs, e.Attempts, e.Err)
+	}
 	return fmt.Sprintf("dist: shard %d (%d docs): %v", e.Shard, e.Docs, e.Err)
 }
 
@@ -64,15 +73,19 @@ func (e *ShardError) Unwrap() error { return e.Err }
 // cfg.Shards contiguous shards (the same len*i/N arithmetic as the
 // incremental miner's epoch split, so concatenated per-shard quarantine
 // lists are globally sorted), mine every shard concurrently through the
-// transport, merge the shipped evidence deltas in shard order, and
-// reduce once.
+// transport — retrying failed or hung attempts per cfg.Retry — merge the
+// shipped evidence deltas in shard order, and reduce once.
 //
-// Failed shards degrade rather than abort the run: their documents are
-// simply absent from the result — the all-or-nothing shard commit in the
-// protocol guarantees a lost worker contributed nothing — and each
-// failure is reported as a ShardError. The returned error is non-nil
-// only when the context was cancelled (ctx.Err(), alongside the partial
-// result) or when every shard failed.
+// Within the retry budget the run self-heals: any transient fault
+// pattern (worker crashes, dropped connections, hangs past the shard
+// deadline) yields a result bit-identical to the batch pipeline over the
+// same corpus, because the exactly-once shard commit guarantees each
+// shard's delta is merged from exactly one complete attempt. Only budget
+// exhaustion degrades the run: that shard's documents are absent — the
+// all-or-nothing shard commit guarantees a lost worker contributed
+// nothing — and the failure is reported as a ShardError. The returned
+// error is non-nil only when the context was cancelled (ctx.Err(),
+// alongside the partial result) or when every shard failed.
 func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) (*pipeline.Result, []ShardError, error) {
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -86,14 +99,14 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 	o.StartRun(len(docs), shards)
 	total := o.Phase("run")
 
-	// Map: launch every shard concurrently. Each slot is owned by exactly
-	// one goroutine, so the outcomes slice needs no lock.
-	type outcome struct {
-		res     *ShardResult
-		tele    *obs.Telemetry
-		teleErr error
-		err     error
+	if cfg.Transport == nil {
+		cfg.Transport = nilTransport{}
 	}
+	sc := newScheduler(cfg.Transport, cfg.Retry, do, cl)
+
+	// Map: drive every shard's retry loop concurrently. Each slot is
+	// owned by exactly one goroutine, so the outcomes slice needs no
+	// lock.
 	outcomes := make([]outcome, shards)
 	lo := make([]int, shards+1)
 	for s := 0; s <= shards; s++ {
@@ -105,11 +118,15 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			res, tele, teleErr, err := runShard(ctx, cfg.Transport, s, lo[s], docs[lo[s]:lo[s+1]], do, cl)
-			outcomes[s] = outcome{res: res, tele: tele, teleErr: teleErr, err: err}
+			outcomes[s] = sc.mineShard(ctx, s, lo[s], docs[lo[s]:lo[s+1]])
 		}(s)
 	}
 	wg.Wait()
+	// Reap every abandoned straggler before merging: after drain no
+	// worker process, goroutine, or connection launched by this run is
+	// still alive, and no commit cell can change (each was resolved or
+	// sealed by its mineShard loop).
+	sc.drain()
 	extractDur := extract.End()
 
 	// Reduce, part 1: fold the shipped deltas in shard order. Merge is
@@ -125,7 +142,7 @@ func Mine(ctx context.Context, docs []corpus.Document, base *kb.KB, cfg Config) 
 		if oc.err != nil {
 			do.ShardsFailed.Inc()
 			cl.ShardFailed(s, oc.err)
-			failed = append(failed, ShardError{Shard: s, Docs: lo[s+1] - lo[s], Err: oc.err})
+			failed = append(failed, ShardError{Shard: s, Docs: lo[s+1] - lo[s], Attempts: oc.attempts, Err: oc.err})
 			continue
 		}
 		merge := o.Phase("merge")
@@ -182,62 +199,10 @@ func clusterOf(o *obs.RunObs) *obs.Cluster {
 	return o.Cluster
 }
 
-// runShard drives one worker through the protocol: launch, write the job
-// frame, close the job stream, read the result frames, probe for the
-// optional telemetry frame, wait for exit. The telemetry outcome is
-// reported separately from the shard outcome: tele is the decoded frame
-// (nil when the worker shipped none), teleErr a frame that arrived but
-// failed validation — in neither case does the shard itself fail.
-func runShard(ctx context.Context, t Transport, shard, docOffset int, docs []corpus.Document, do *obs.DistObs, cl *obs.Cluster) (res *ShardResult, tele *obs.Telemetry, teleErr, err error) {
-	if t == nil {
-		return nil, nil, nil, fmt.Errorf("dist: shard %d: nil transport", shard)
-	}
-	conn, err := t.Start(ctx, shard)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("dist: shard %d start: %w", shard, err)
-	}
-	// The send anchor precedes the job write so the worker's job-received
-	// anchor falls inside the coordinator's [jobSent, resultRecv] window.
-	cl.JobSent(shard, len(docs), 0)
-	wn, err := WriteJob(conn.In(), &Job{Shard: shard, DocOffset: docOffset, Docs: docs})
-	do.WireBytesEncoded.Add(wn)
-	cl.ShardWire(shard, wn, 0)
-	if cerr := conn.In().Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		var rn int64
-		res, rn, err = ReadShardResult(conn.Out())
-		do.WireBytesDecoded.Add(rn)
-		cl.ResultReceived(shard, rn)
-	}
-	if err == nil {
-		// Optional telemetry frame after the store frame: a clean EOF means
-		// an old or obs-disabled worker, any other failure is recorded but
-		// cannot un-commit the shard's evidence.
-		var tn int64
-		tele, tn, teleErr = obs.DecodeTelemetry(conn.Out())
-		do.WireBytesDecoded.Add(tn)
-		cl.ShardWire(shard, 0, tn)
-		if errors.Is(teleErr, io.EOF) {
-			tele, teleErr = nil, nil
-		}
-	}
-	if err != nil {
-		conn.Kill()
-		if waitErr := conn.Wait(); waitErr != nil && waitErr != err {
-			return nil, nil, nil, fmt.Errorf("dist: shard %d: %w (worker: %v)", shard, err, waitErr)
-		}
-		return nil, nil, nil, fmt.Errorf("dist: shard %d: %w", shard, err)
-	}
-	if waitErr := conn.Wait(); waitErr != nil {
-		return nil, nil, nil, fmt.Errorf("dist: shard %d worker exit: %w", shard, waitErr)
-	}
-	if res.Shard != shard {
-		return nil, nil, nil, fmt.Errorf("dist: shard %d: worker answered for shard %d", shard, res.Shard)
-	}
-	if res.Consumed > len(docs) {
-		return nil, nil, nil, fmt.Errorf("dist: shard %d: consumed %d of %d documents", shard, res.Consumed, len(docs))
-	}
-	return res, tele, teleErr, nil
+// nilTransport keeps a misconfigured run (no transport) failing with a
+// typed per-shard error instead of a nil dereference.
+type nilTransport struct{}
+
+func (nilTransport) Start(context.Context, int, int) (Conn, error) {
+	return nil, errors.New("dist: nil transport")
 }

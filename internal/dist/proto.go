@@ -14,21 +14,40 @@
 //	                       the store frame. Obs-disabled workers omit it;
 //	                       the coordinator treats clean EOF as absent, so
 //	                       the frame is backward- and forward-optional.
+//	worker → coordinator   heartbeat frame "SVHB" (uvarint shard),
+//	                       interleaved while mining on the socket
+//	                       transport only. The coordinator's demultiplexer
+//	                       counts them as liveness and strips them from
+//	                       the protocol stream; pipe transports never send
+//	                       them (a child's death already breaks the pipe).
 //
-// Protocol state machine (one worker):
+// Protocol state machine (one worker attempt):
 //
 //	IDLE --job frame--> MINING --result+store [+telemetry], exit 0--> DONE
 //	                      |  \-- crash / kill -----------------------> LOST
 //	                      \---- ctx cancelled, exit nonzero ---------> LOST
 //
+// The self-healing scheduler layers a shard-level retry loop on top: a
+// LOST or deadline-expired attempt moves the shard to RETRYING, and a
+// fresh worker (after seeded-jitter backoff) replays the protocol from
+// IDLE:
+//
+//	PENDING -> MINING --commit--------------------------------> DONE
+//	             |  \-- attempt lost/expired --> RETRYING --> MINING ...
+//	             \---- retry budget exhausted ----------------> LOST
+//
 // A LOST worker never writes a partial result: the result frames are
 // written only after extraction completes, so the coordinator either
 // receives a complete, checksummed shard delta or a read error — never a
-// torn one. That all-or-nothing shard commit is what makes the partial
-// result after a crash exactly the batch result minus the lost shard's
-// documents. Telemetry rides strictly after the commit point: a broken or
-// rejected telemetry frame can degrade observability (a rejection counter
-// and a /cluster note) but can never fail, or un-commit, the shard.
+// torn one. That all-or-nothing attempt commit, combined with the
+// coordinator's exactly-once shard commit cell (a late result from an
+// abandoned attempt is discarded as a duplicate once any attempt has
+// committed), is what makes a run with transient faults bit-identical to
+// the batch run, and a budget-exhausted run exactly the batch result
+// minus the lost shard's documents. Telemetry rides strictly after the
+// commit point: a broken or rejected telemetry frame can degrade
+// observability (a rejection counter and a /cluster note) but can never
+// fail, or un-commit, the shard.
 package dist
 
 import (
@@ -44,8 +63,9 @@ import (
 
 // Frame magics of the coordinator/worker protocol.
 const (
-	jobMagic    = "SVJB"
-	resultMagic = "SVSR"
+	jobMagic       = "SVJB"
+	resultMagic    = "SVSR"
+	heartbeatMagic = "SVHB"
 )
 
 // maxDocBytes caps one document's text in a job frame — generous next to
@@ -126,6 +146,31 @@ func ReadJob(r io.Reader) (*Job, int64, error) {
 		return nil, n, fmt.Errorf("dist: %d trailing bytes after %d job documents", d.Remaining(), count)
 	}
 	return job, n, nil
+}
+
+// WriteHeartbeat writes one liveness frame for shard. Socket workers
+// emit them on a ticker while mining; heartbeats never interleave with
+// protocol frames (the heartbeater stops before the result is written).
+func WriteHeartbeat(w io.Writer, shard int) (int64, error) {
+	e := wire.NewEncoder(8)
+	e.Uvarint(uint64(shard))
+	return wire.WriteFrame(w, heartbeatMagic, e.Bytes())
+}
+
+// decodeHeartbeat parses a heartbeat frame body into its shard index.
+func decodeHeartbeat(body []byte) (int, error) {
+	d := wire.NewDecoder(body)
+	shard := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("dist: decode heartbeat: %w", err)
+	}
+	if shard > math.MaxInt32 {
+		return 0, fmt.Errorf("dist: implausible heartbeat shard %d", shard)
+	}
+	if d.Remaining() != 0 {
+		return 0, fmt.Errorf("dist: %d trailing bytes in heartbeat", d.Remaining())
+	}
+	return int(shard), nil
 }
 
 // ShardResult is the worker→coordinator evidence delta plus the shard's

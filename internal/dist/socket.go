@@ -1,0 +1,352 @@
+// Socket transport of the distributed miner: the same coordinator/worker
+// protocol as the pipe transports, carried over TCP to standalone worker
+// servers (`surveyor -dist-listen`) instead of child processes. One
+// connection serves one shard attempt — the coordinator dials, writes the
+// job frame, and reads the result frames back; the worker interleaves
+// heartbeat frames ("SVHB") while mining so the coordinator can tell a
+// slow worker from a dead link, and the coordinator enforces a per-frame
+// read deadline as the liveness window. Dial failures reconnect with
+// seeded-jitter backoff across the configured endpoints, so the
+// scheduler's retry loop doubles as cross-host reassignment.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/lexicon"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Socket transport defaults, applied for zero-valued config fields.
+const (
+	defaultConnectTimeout  = 5 * time.Second
+	defaultConnectAttempts = 3
+	defaultConnectBackoff  = 100 * time.Millisecond
+	defaultReadTimeout     = 30 * time.Second
+	defaultWriteTimeout    = 10 * time.Second
+	defaultHeartbeat       = time.Second
+)
+
+// SocketTransport launches shard attempts over TCP connections to
+// standalone worker servers (ServeSocket / `surveyor -dist-listen`). The
+// endpoint for (shard, attempt) rotates through Addrs, so a retry after a
+// worker failure naturally reassigns the shard to a different host when
+// more than one is configured.
+type SocketTransport struct {
+	// Addrs are the worker endpoints ("host:port"). At least one is
+	// required.
+	Addrs []string
+	// ConnectTimeout bounds one dial. Zero means 5s.
+	ConnectTimeout time.Duration
+	// ConnectAttempts is how many dials (rotating through Addrs, with
+	// backoff between them) one Start may burn before giving up. Zero
+	// means 3.
+	ConnectAttempts int
+	// ConnectBackoff is the base delay between dial attempts, doubled per
+	// attempt and jittered from Seed. Zero means 100ms.
+	ConnectBackoff time.Duration
+	// ReadTimeout is the liveness window: the longest the coordinator
+	// will wait for the next frame (heartbeats included) before declaring
+	// the worker dead. Zero means 30s. It must comfortably exceed the
+	// worker's heartbeat interval.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each job-frame write. Zero means 10s.
+	WriteTimeout time.Duration
+	// Seed derives the dial-backoff jitter, like RetryPolicy.Seed.
+	Seed uint64
+	// Obs receives liveness telemetry (heartbeat counters and the
+	// /cluster heartbeat column). Optional.
+	Obs *obs.RunObs
+}
+
+// Start implements Transport: dial an endpoint for (shard, attempt) with
+// reconnect-and-backoff across Addrs, and wrap the connection in the
+// heartbeat-stripping demultiplexer.
+func (t *SocketTransport) Start(ctx context.Context, shard, attempt int) (Conn, error) {
+	if len(t.Addrs) == 0 {
+		return nil, errors.New("dist: socket transport: no worker addresses")
+	}
+	tries := t.ConnectAttempts
+	if tries <= 0 {
+		tries = defaultConnectAttempts
+	}
+	connectTimeout := t.ConnectTimeout
+	if connectTimeout <= 0 {
+		connectTimeout = defaultConnectTimeout
+	}
+	var lastErr error
+	for try := 0; try < tries; try++ {
+		if try > 0 {
+			if err := sleepCtx(ctx, t.dialBackoff(shard, attempt, try)); err != nil {
+				return nil, fmt.Errorf("dist: shard %d dial: %w", shard, err)
+			}
+		}
+		// Rotate through the endpoints: a retry (attempt+1) or a failed
+		// dial (try+1) moves to the next worker host.
+		addr := t.Addrs[(shard+attempt+try)%len(t.Addrs)]
+		d := net.Dialer{Timeout: connectTimeout}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return newSocketConn(conn, addr, shard, t), nil
+	}
+	return nil, fmt.Errorf("dist: shard %d: all %d dials failed: %w", shard, tries, lastErr)
+}
+
+// dialBackoff mirrors the scheduler's backoff: exponential from
+// ConnectBackoff, capped at 8x, jittered in [0.5, 1.5) from a generator
+// seeded purely by (Seed, shard, attempt, try).
+func (t *SocketTransport) dialBackoff(shard, attempt, try int) time.Duration {
+	base := t.ConnectBackoff
+	if base <= 0 {
+		base = defaultConnectBackoff
+	}
+	d := base
+	for i := 1; i < try && d < 8*base; i++ {
+		d *= 2
+	}
+	seed := t.Seed ^
+		uint64(shard)*0x9e3779b97f4a7c15 ^
+		uint64(attempt)*0xbf58476d1ce4e5b9 ^
+		uint64(try)*0x94d049bb133111eb
+	return jitterDuration(d, seed)
+}
+
+// socketConn adapts one TCP connection to the Conn interface. A demux
+// goroutine owns all reads: it enforces the per-frame liveness deadline,
+// strips and counts heartbeat frames, and re-frames every protocol frame
+// into an in-memory pipe the scheduler reads as Out(). In() writes the
+// job frame directly (with a write deadline); its Close is a no-op so
+// the TCP stream stays open — the worker detects coordinator death by
+// its read on the socket completing, which must not happen while the run
+// is merely done sending.
+type socketConn struct {
+	conn  net.Conn
+	addr  string
+	shard int
+	t     *SocketTransport
+
+	outR *io.PipeReader
+	outW *io.PipeWriter
+
+	demuxDone chan struct{}
+	demuxErr  error // terminal demux error; nil for clean EOF. Written before demuxDone closes.
+
+	closeOnce sync.Once
+}
+
+func newSocketConn(conn net.Conn, addr string, shard int, t *SocketTransport) *socketConn {
+	outR, outW := io.Pipe()
+	c := &socketConn{conn: conn, addr: addr, shard: shard, t: t, outR: outR, outW: outW, demuxDone: make(chan struct{})}
+	go c.demux()
+	return c
+}
+
+// Endpoint names the worker host serving this connection; the scheduler
+// uses it to distinguish reconnects from reassignments.
+func (c *socketConn) Endpoint() string { return c.addr }
+
+func (c *socketConn) In() io.WriteCloser { return socketIn{c} }
+func (c *socketConn) Out() io.Reader     { return c.outR }
+
+// Wait blocks until the worker's stream ends (the worker closes its side
+// after the last frame) and returns the demux's terminal error — nil for
+// a clean end-of-stream.
+func (c *socketConn) Wait() error {
+	<-c.demuxDone
+	c.close()
+	return c.demuxErr
+}
+
+// Kill tears the connection down; the demux unblocks on the closed
+// socket and the scheduler's pending read unblocks on the broken pipe.
+func (c *socketConn) Kill() { c.close() }
+
+func (c *socketConn) close() {
+	c.closeOnce.Do(func() {
+		c.conn.Close()
+	})
+}
+
+// demux is the connection's read loop: per-frame liveness deadline,
+// heartbeats counted and stripped, protocol frames re-framed into the
+// Out pipe byte-identically (WriteFrame(ReadFrameAny(...)) round-trips
+// the exact frame encoding).
+func (c *socketConn) demux() {
+	defer close(c.demuxDone)
+	readTimeout := c.t.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = defaultReadTimeout
+	}
+	do := c.t.Obs.Dist()
+	cl := clusterOf(c.t.Obs)
+	for {
+		c.conn.SetReadDeadline(netDeadline(readTimeout))
+		magic, body, _, err := wire.ReadFrameAny(c.conn)
+		if errors.Is(err, io.EOF) {
+			// Clean end-of-stream at a frame boundary: the worker finished
+			// and closed. Propagate EOF to the scheduler's reads.
+			c.outW.Close()
+			return
+		}
+		if err != nil {
+			c.demuxErr = fmt.Errorf("dist: shard %d socket read: %w", c.shard, err)
+			c.outW.CloseWithError(c.demuxErr)
+			return
+		}
+		if magic == heartbeatMagic {
+			if _, herr := decodeHeartbeat(body); herr != nil {
+				c.demuxErr = herr
+				c.outW.CloseWithError(herr)
+				return
+			}
+			do.Heartbeats.Inc()
+			cl.ShardHeartbeat(c.shard)
+			continue
+		}
+		if _, err := wire.WriteFrame(c.outW, magic, body); err != nil {
+			// The scheduler stopped reading (killed attempt); stop pulling
+			// frames on its behalf.
+			return
+		}
+	}
+}
+
+// socketIn is the coordinator→worker half: deadline-bounded writes,
+// no-op close (see socketConn's doc).
+type socketIn struct{ c *socketConn }
+
+func (s socketIn) Write(p []byte) (int, error) {
+	writeTimeout := s.c.t.WriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = defaultWriteTimeout
+	}
+	s.c.conn.SetWriteDeadline(netDeadline(writeTimeout))
+	n, err := s.c.conn.Write(p)
+	if err != nil {
+		return n, fmt.Errorf("dist: shard %d socket write: %w", s.c.shard, err)
+	}
+	return n, nil
+}
+
+func (s socketIn) Close() error { return nil }
+
+// netDeadline converts a relative liveness window into the absolute
+// deadline the net.Conn API wants. The wall-clock read is confined to
+// connection liveness — it can decide that a retry happens, never what
+// any shard's evidence contains, so mining output stays bit-reproducible.
+func netDeadline(d time.Duration) time.Time {
+	//lint:allow obsflow liveness deadline for the kernel's net.Conn, not a telemetry read
+	return time.Now().Add(d) //lint:allow detrand network liveness deadline; never reaches mining output
+}
+
+// --- worker server ---------------------------------------------------------
+
+// SocketServerConfig tunes a standalone socket worker.
+type SocketServerConfig struct {
+	// Heartbeat is the liveness emission interval while mining. Zero
+	// means 1s. It must be comfortably below the coordinator's
+	// ReadTimeout.
+	Heartbeat time.Duration
+	// ErrLog receives per-connection serve errors (nil discards them); a
+	// worker server outlives any single bad connection.
+	ErrLog io.Writer
+}
+
+// ServeSocket runs a standalone worker server: accept connections on ln
+// and serve each with ServeConn until ctx is cancelled. Each connection
+// carries exactly one shard attempt. Returns ctx.Err() on cancellation
+// (after in-flight handlers finish) or the first accept error.
+func ServeSocket(ctx context.Context, ln net.Listener, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config, scfg SocketServerConfig) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dist: socket worker accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := ServeConn(ctx, conn, base, lex, cfg, scfg); err != nil && scfg.ErrLog != nil {
+				fmt.Fprintf(scfg.ErrLog, "surveyor: socket worker: %v\n", err)
+			}
+		}()
+	}
+}
+
+// ServeConn serves one shard attempt over an established connection:
+// RunWorker's protocol plus the two socket extensions — a heartbeater
+// that emits liveness frames while mining, and a peer-close watcher that
+// cancels the attempt the moment the coordinator hangs up (the
+// coordinator writes nothing after the job frame, so any completed read
+// past it means the peer is gone). The watcher is what keeps an
+// abandoned or orphaned worker from mining for a dead coordinator.
+func ServeConn(ctx context.Context, conn net.Conn, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config, scfg SocketServerConfig) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	interval := scfg.Heartbeat
+	if interval <= 0 {
+		interval = defaultHeartbeat
+	}
+	hooks := workerHooks{
+		afterJob: func(*Job) {
+			go func() {
+				var b [1]byte
+				conn.Read(b[:]) // blocks until the coordinator closes or resets
+				cancel()
+			}()
+		},
+		heartbeat: func(shard int) func() {
+			return startHeartbeater(conn, shard, interval)
+		},
+	}
+	return runWorker(cctx, conn, conn, base, lex, cfg, hooks)
+}
+
+// startHeartbeater emits a liveness frame for shard on w every interval
+// until stopped. The returned stop is synchronous: it returns only after
+// the emitter goroutine has exited, so no heartbeat write can interleave
+// with the protocol frames written after it.
+func startHeartbeater(w io.Writer, shard int, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := WriteHeartbeat(w, shard); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

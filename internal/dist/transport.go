@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os/exec"
+	"time"
 
 	"repro/internal/kb"
 	"repro/internal/nlp/lexicon"
@@ -13,14 +14,20 @@ import (
 	"repro/internal/pipeline"
 )
 
-// Transport launches one worker per shard and exposes its pipe pair. Two
-// implementations ship: ProcTransport (real child processes over
-// stdin/stdout, what `surveyor -distribute` uses) and LocalTransport
-// (in-process workers over in-memory pipes, what the race-enabled
-// differential suites and the benchmarks use — same protocol bytes, no
-// fork/exec noise).
+// Transport launches one worker per shard attempt and exposes its pipe
+// pair. Three implementations ship: ProcTransport (real child processes
+// over stdin/stdout, what `surveyor -distribute` uses), SocketTransport
+// (TCP connections to standalone worker servers, what `-dist-connect`
+// uses), and LocalTransport (in-process workers over in-memory pipes,
+// what the race-enabled differential suites and the benchmarks use —
+// same protocol bytes, no fork/exec noise).
+//
+// attempt is zero-based and increments each time the self-healing
+// scheduler retries the shard on a fresh worker; transports may use it
+// to pick a different endpoint (SocketTransport) or to thread chaos
+// hooks (LocalTransport).
 type Transport interface {
-	Start(ctx context.Context, shard int) (Conn, error)
+	Start(ctx context.Context, shard, attempt int) (Conn, error)
 }
 
 // Conn is one launched worker's endpoint from the coordinator's side.
@@ -37,7 +44,19 @@ type Conn interface {
 	Kill()
 }
 
+// endpointer is the optional Conn refinement that names the worker
+// endpoint serving the connection; the scheduler uses it to tell a
+// reconnect to the same worker from a reassignment to a different one.
+type endpointer interface {
+	Endpoint() string
+}
+
 // --- child processes -------------------------------------------------------
+
+// procWaitDelay bounds how long Wait blocks on a killed child's pipes
+// after its context is cancelled — a wedged worker cannot hang the
+// coordinator's shutdown path.
+const procWaitDelay = 10 * time.Second
 
 // ProcTransport launches each worker as a child process. The command must
 // speak the worker protocol on stdin/stdout (cmd/surveyor's hidden
@@ -48,14 +67,25 @@ type ProcTransport struct {
 	Path string
 	// Args are the worker's command-line arguments.
 	Args []string
+	// ExtraArgs, when non-nil, appends per-launch arguments — cmd/surveyor
+	// threads the attempt number through so a worker can be told which
+	// retry it serves (the CI flake injector keys off it).
+	ExtraArgs func(shard, attempt int) []string
 	// Stderr receives the workers' stderr streams (nil discards them).
 	Stderr io.Writer
 }
 
 // Start implements Transport.
-func (t *ProcTransport) Start(ctx context.Context, shard int) (Conn, error) {
-	cmd := exec.CommandContext(ctx, t.Path, t.Args...)
+func (t *ProcTransport) Start(ctx context.Context, shard, attempt int) (Conn, error) {
+	args := t.Args
+	if t.ExtraArgs != nil {
+		args = append(append([]string(nil), args...), t.ExtraArgs(shard, attempt)...)
+	}
+	cmd := exec.CommandContext(ctx, t.Path, args...)
 	cmd.Stderr = t.Stderr
+	// A cancelled attempt kills the child (CommandContext's default); the
+	// delay keeps a wedged child's pipes from blocking Wait forever.
+	cmd.WaitDelay = procWaitDelay
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, fmt.Errorf("dist: shard %d stdin: %w", shard, err)
@@ -88,15 +118,26 @@ func (c *procConn) Kill() {
 // --- in-process workers ----------------------------------------------------
 
 // ErrInjectedCrash is the terminal error of a LocalTransport worker the
-// Crash hook selected — the in-process stand-in for a killed child
-// process: the output pipe breaks before any result frame is written.
+// Crash/FailAttempt hooks selected — the in-process stand-in for a
+// killed child process: the output pipe breaks before any result frame
+// is written.
 var ErrInjectedCrash = errors.New("dist: injected worker crash")
+
+// ErrInjectedDrop is the terminal error of a LocalTransport worker whose
+// CutResult hook fired: the connection breaks mid-result-frame, leaving
+// the coordinator with a torn read.
+var ErrInjectedDrop = errors.New("dist: injected connection drop")
 
 // LocalTransport runs each worker as a goroutine speaking the real
 // protocol over in-memory pipes. Used by the differential suites (every
 // schedule runs under the race detector) and by BenchmarkDistributedMine
 // (process-free, so the codec and coordination costs are measured without
 // fork/exec noise).
+//
+// The chaos hooks (Crash, FailAttempt, Hold, CutResult) are the
+// deterministic stand-ins for the fleet failure modes of the paper's
+// 40TB run: dead machines, transient crashes, stragglers past the
+// deadline, and dropped connections. All are optional.
 type LocalTransport struct {
 	// Base and Lex are the worker-side knowledge base and lexicon — the
 	// same immutable structures every worker process would build from the
@@ -106,10 +147,27 @@ type LocalTransport struct {
 	// Pipeline is the worker-side extraction config (Version, Workers as
 	// threads per worker, Fault for chaos injection, Obs).
 	Pipeline pipeline.Config
-	// Crash, when non-nil, selects shards whose worker dies before
-	// shipping its result — deterministic chaos for the crash-differential
-	// suite. The worker still consumes its job, then breaks the pipe.
+	// Crash, when non-nil, selects shards whose worker dies on every
+	// attempt before shipping its result — a permanently dead machine.
+	// The worker still consumes its job, then breaks the pipe.
 	Crash func(shard int) bool
+	// FailAttempt, when non-nil, selects (shard, attempt) pairs whose
+	// worker dies like Crash — a transient fault the retry budget can
+	// heal.
+	FailAttempt func(shard, attempt int) bool
+	// Hold, when non-nil, returns a channel the worker blocks on before
+	// writing its result (nil means no hold) — a straggler the shard
+	// deadline reclaims, whose late result must be discarded exactly
+	// once. The held worker has already finished extraction; closing the
+	// channel releases the frames.
+	Hold func(shard, attempt int) <-chan struct{}
+	// CutResult, when non-nil, returns the byte offset after which the
+	// worker's result stream breaks (0 means no cut) — a connection
+	// dropped mid-frame.
+	CutResult func(shard, attempt int) int64
+	// OnServe, when non-nil, is called as each worker attempt starts
+	// serving — a deterministic sequencing point for the chaos tests.
+	OnServe func(shard, attempt int)
 	// WorkerObs, when non-nil, gives each worker goroutine its own RunObs
 	// (overriding Pipeline.Obs) — the in-process stand-in for each child
 	// process running its own observability, so telemetry frames exercise
@@ -119,12 +177,12 @@ type LocalTransport struct {
 }
 
 // Start implements Transport.
-func (t *LocalTransport) Start(ctx context.Context, shard int) (Conn, error) {
+func (t *LocalTransport) Start(ctx context.Context, shard, attempt int) (Conn, error) {
 	jobR, jobW := io.Pipe()
 	resR, resW := io.Pipe()
 	c := &localConn{in: jobW, out: resR, done: make(chan error, 1)}
 	go func() {
-		err := t.serve(ctx, shard, jobR, resW)
+		err := t.serve(ctx, shard, attempt, jobR, resW)
 		// Break both pipe ends with the terminal error so a blocked
 		// coordinator read fails like a closed stdout would.
 		resW.CloseWithError(err)
@@ -134,9 +192,14 @@ func (t *LocalTransport) Start(ctx context.Context, shard int) (Conn, error) {
 	return c, nil
 }
 
-// serve runs one worker: read job, mine, ship result — or crash.
-func (t *LocalTransport) serve(ctx context.Context, shard int, r io.Reader, w io.Writer) error {
-	if t.Crash != nil && t.Crash(shard) {
+// serve runs one worker attempt: read job, mine, ship result — or fail
+// the way its chaos hooks dictate.
+func (t *LocalTransport) serve(ctx context.Context, shard, attempt int, r io.Reader, w io.Writer) error {
+	if t.OnServe != nil {
+		t.OnServe(shard, attempt)
+	}
+	if (t.Crash != nil && t.Crash(shard)) ||
+		(t.FailAttempt != nil && t.FailAttempt(shard, attempt)) {
 		// Drain the job like a real worker that dies mid-mining, then
 		// break the pipe without writing a result frame.
 		if _, _, err := ReadJob(r); err != nil {
@@ -144,11 +207,57 @@ func (t *LocalTransport) serve(ctx context.Context, shard int, r io.Reader, w io
 		}
 		return ErrInjectedCrash
 	}
+	if t.CutResult != nil {
+		if cut := t.CutResult(shard, attempt); cut > 0 {
+			w = &cutWriter{w: w, budget: cut}
+		}
+	}
+	if t.Hold != nil {
+		if ch := t.Hold(shard, attempt); ch != nil {
+			w = &holdWriter{w: w, release: ch}
+		}
+	}
 	cfg := t.Pipeline
 	if t.WorkerObs != nil {
 		cfg.Obs = t.WorkerObs(shard)
 	}
 	return RunWorker(ctx, r, w, t.Base, t.Lex, cfg)
+}
+
+// cutWriter passes budget bytes through, then fails every write — the
+// in-process stand-in for a TCP connection dropped mid-frame.
+type cutWriter struct {
+	w      io.Writer
+	budget int64
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.budget <= 0 {
+		return 0, ErrInjectedDrop
+	}
+	if int64(len(p)) > c.budget {
+		n, _ := c.w.Write(p[:c.budget])
+		c.budget = 0
+		return n, ErrInjectedDrop
+	}
+	c.budget -= int64(len(p))
+	return c.w.Write(p)
+}
+
+// holdWriter blocks the first write until release closes — a straggler
+// worker that finishes mining but delivers its result late.
+type holdWriter struct {
+	w       io.Writer
+	release <-chan struct{}
+	held    bool
+}
+
+func (h *holdWriter) Write(p []byte) (int, error) {
+	if !h.held {
+		<-h.release
+		h.held = true
+	}
+	return h.w.Write(p)
 }
 
 type localConn struct {

@@ -11,12 +11,29 @@ import (
 	"repro/internal/pipeline"
 )
 
+// workerHooks are the transport-specific extensions a worker serving loop
+// threads through the shared protocol body. Pipe workers use none; socket
+// workers use both (heartbeats while mining, a peer-close watcher that
+// cancels abandoned work).
+type workerHooks struct {
+	// afterJob, when non-nil, runs once the job frame is fully read — the
+	// point after which the coordinator sends nothing more on this
+	// connection.
+	afterJob func(job *Job)
+	// heartbeat, when non-nil, starts the liveness emitter for the shard
+	// and returns its stop function. The returned stop must be
+	// synchronous: once it returns, no heartbeat write is in flight, so
+	// the result frames that follow never interleave with one.
+	heartbeat func(shard int) (stop func())
+}
+
 // RunWorker serves one worker's side of the protocol: read a job frame
 // from r, mine the shard's evidence with pipeline.ExtractEvidence (the
 // map step — the job's DocOffset threads through so every reported
 // document index is corpus-global), and ship the delta as a result frame
 // on w. cmd/surveyor's hidden -dist-worker mode calls this over
-// stdin/stdout; LocalTransport calls it over in-memory pipes.
+// stdin/stdout; LocalTransport calls it over in-memory pipes; the socket
+// server wraps it via ServeConn with heartbeat and peer-watch hooks.
 //
 // All-or-nothing shard commit: nothing is written to w until extraction
 // has completed, so a cancelled or crashed worker leaves the coordinator
@@ -29,11 +46,31 @@ import (
 // A worker with a nil RunObs ships nothing extra — the coordinator's
 // telemetry probe sees a clean EOF.
 func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config) error {
+	return runWorker(ctx, r, w, base, lex, cfg, workerHooks{})
+}
+
+// runWorker is the shared protocol body behind RunWorker and ServeConn.
+func runWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *lexicon.Lexicon, cfg pipeline.Config, hooks workerHooks) error {
 	st := cfg.Obs.BeginShardTelemetry()
 	job, _, err := ReadJob(r)
 	if err != nil {
 		return fmt.Errorf("dist: worker read job: %w", err)
 	}
+	if hooks.afterJob != nil {
+		hooks.afterJob(job)
+	}
+	stopHeartbeat := func() {}
+	if hooks.heartbeat != nil {
+		stop := hooks.heartbeat(job.Shard)
+		stopped := false
+		stopHeartbeat = func() {
+			if !stopped {
+				stopped = true
+				stop()
+			}
+		}
+	}
+	defer stopHeartbeat()
 	ext, err := pipeline.ExtractEvidence(ctx, job.Docs, base, lex, cfg, job.DocOffset)
 	if err != nil {
 		return fmt.Errorf("dist: worker shard %d: %w", job.Shard, err)
@@ -45,6 +82,10 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer, base *kb.KB, lex *
 	pm.Documents.Add(int64(ext.Consumed - len(ext.Quarantined)))
 	pm.Sentences.Add(ext.Sentences)
 	pm.Statements.Add(ext.Store.TotalStatements())
+	// The heartbeater must be fully stopped before the first result byte:
+	// protocol frames and heartbeat frames share w, and only strict
+	// sequencing keeps the stream parseable.
+	stopHeartbeat()
 	n, err := WriteShardResult(w, &ShardResult{
 		Shard:       job.Shard,
 		Consumed:    ext.Consumed,

@@ -14,12 +14,24 @@ import (
 )
 
 // Shard protocol states, mirroring the state machine in the dist
-// protocol documentation.
+// protocol documentation. With the self-healing scheduler a shard
+// cycles PENDING → MINING → (RETRYING → MINING)* → DONE, and reaches
+// LOST only once its retry budget is exhausted.
 const (
-	ShardPending = "PENDING"
-	ShardMining  = "MINING"
-	ShardDone    = "DONE"
-	ShardLost    = "LOST"
+	ShardPending  = "PENDING"
+	ShardMining   = "MINING"
+	ShardRetrying = "RETRYING"
+	ShardDone     = "DONE"
+	ShardLost     = "LOST"
+)
+
+// Attempt outcomes recorded in a shard's history by the self-healing
+// scheduler.
+const (
+	AttemptCommitted = "committed" // result committed to the run
+	AttemptDuplicate = "duplicate" // late result discarded — an earlier attempt already committed
+	AttemptFailed    = "failed"    // worker crashed, spoke a broken protocol, or was cancelled
+	AttemptExpired   = "expired"   // shard deadline reclaimed the attempt from a hung worker
 )
 
 // Cluster tracks one distributed run. The zero value is unusable; build
@@ -47,6 +59,9 @@ type clusterShard struct {
 	hasSkew     bool
 	telemetry   string // "", "ok", "absent", or "rejected: <cause>"
 	failure     string
+	attempts    int                // job frames launched for this shard
+	heartbeats  int64              // liveness frames received (socket transport)
+	history     []ShardAttemptView // per-attempt outcomes, oldest first
 
 	jobSent    time.Duration
 	resultRecv time.Duration
@@ -99,6 +114,52 @@ func (c *Cluster) JobSent(s, docs int, wireBytes int64) {
 		sh.wireOut += wireBytes
 		sh.jobSent = now
 		sh.hasSent = true
+		sh.attempts++
+	}
+}
+
+// maxAttemptHistory bounds one shard's recorded attempt history; a
+// pathological retry storm truncates instead of growing without bound.
+const maxAttemptHistory = 64
+
+// ShardAttemptEnded appends one attempt's terminal outcome (an Attempt*
+// constant) and its cause to shard s's history.
+func (c *Cluster) ShardAttemptEnded(s, attempt int, outcome, cause string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh := c.shard(s); sh != nil && len(sh.history) < maxAttemptHistory {
+		sh.history = append(sh.history, ShardAttemptView{
+			Attempt: attempt, Outcome: outcome, Cause: cause,
+		})
+	}
+}
+
+// ShardRetrying marks shard s as lost-but-retrying: a failed or expired
+// attempt is being replaced by a fresh worker.
+func (c *Cluster) ShardRetrying(s int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh := c.shard(s); sh != nil {
+		sh.status = ShardRetrying
+	}
+}
+
+// ShardHeartbeat records one liveness frame received from shard s's
+// worker over the socket transport.
+func (c *Cluster) ShardHeartbeat(s int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sh := c.shard(s); sh != nil {
+		sh.heartbeats++
 	}
 }
 
@@ -212,30 +273,42 @@ func (c *Cluster) skewOffset(s int, a ClockAnchor) (offset time.Duration, ok boo
 	return coordMid - workerMid, true
 }
 
+// ShardAttemptView is the JSON shape of one attempt in a shard's
+// history.
+type ShardAttemptView struct {
+	Attempt int    `json:"attempt"`
+	Outcome string `json:"outcome"`
+	Cause   string `json:"cause,omitempty"`
+}
+
 // ShardView is the JSON shape of one shard in a cluster snapshot.
 type ShardView struct {
-	Shard        int     `json:"shard"`
-	Status       string  `json:"status"`
-	Docs         int     `json:"docs"`
-	Consumed     int     `json:"consumed"`
-	Quarantined  int     `json:"quarantined,omitempty"`
-	WireBytesOut int64   `json:"wire_bytes_out"`
-	WireBytesIn  int64   `json:"wire_bytes_in"`
-	MergeMillis  float64 `json:"merge_ms"`
-	Spans        int     `json:"spans,omitempty"`
-	SkewMillis   float64 `json:"skew_ms"`
-	Telemetry    string  `json:"telemetry,omitempty"`
-	Failure      string  `json:"failure,omitempty"`
+	Shard        int                `json:"shard"`
+	Status       string             `json:"status"`
+	Docs         int                `json:"docs"`
+	Consumed     int                `json:"consumed"`
+	Quarantined  int                `json:"quarantined,omitempty"`
+	WireBytesOut int64              `json:"wire_bytes_out"`
+	WireBytesIn  int64              `json:"wire_bytes_in"`
+	MergeMillis  float64            `json:"merge_ms"`
+	Spans        int                `json:"spans,omitempty"`
+	SkewMillis   float64            `json:"skew_ms"`
+	Telemetry    string             `json:"telemetry,omitempty"`
+	Failure      string             `json:"failure,omitempty"`
+	Attempts     int                `json:"attempts,omitempty"`
+	Heartbeats   int64              `json:"heartbeats,omitempty"`
+	History      []ShardAttemptView `json:"history,omitempty"`
 }
 
 // ClusterSnapshot is the JSON shape of the /cluster endpoint.
 type ClusterSnapshot struct {
-	Workers      int         `json:"workers"`
-	ShardsDone   int         `json:"shards_done"`
-	ShardsLost   int         `json:"shards_lost"`
-	WireBytesOut int64       `json:"wire_bytes_out"`
-	WireBytesIn  int64       `json:"wire_bytes_in"`
-	Shards       []ShardView `json:"shards"`
+	Workers        int         `json:"workers"`
+	ShardsDone     int         `json:"shards_done"`
+	ShardsLost     int         `json:"shards_lost"`
+	ShardsRetrying int         `json:"shards_retrying,omitempty"`
+	WireBytesOut   int64       `json:"wire_bytes_out"`
+	WireBytesIn    int64       `json:"wire_bytes_in"`
+	Shards         []ShardView `json:"shards"`
 }
 
 // Snapshot returns the current fleet view. A nil or never-started
@@ -265,6 +338,9 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 			Spans:        sh.spans,
 			Telemetry:    sh.telemetry,
 			Failure:      sh.failure,
+			Attempts:     sh.attempts,
+			Heartbeats:   sh.heartbeats,
+			History:      append([]ShardAttemptView(nil), sh.history...),
 		}
 		if sh.hasSkew {
 			v.SkewMillis = float64(sh.skew) / float64(time.Millisecond)
@@ -277,6 +353,8 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 			snap.ShardsDone++
 		case ShardLost:
 			snap.ShardsLost++
+		case ShardRetrying:
+			snap.ShardsRetrying++
 		}
 	}
 	return snap

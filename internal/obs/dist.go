@@ -27,6 +27,23 @@ type DistObs struct {
 	// TelemetryFrames counts worker telemetry frames received and
 	// federated by the coordinator.
 	TelemetryFrames *Counter // surveyor_dist_telemetry_frames_total
+	// ShardRetries counts shard attempts launched beyond each shard's
+	// first — the self-healing scheduler replacing a failed or expired
+	// worker.
+	ShardRetries *Counter // surveyor_dist_shard_retries_total
+	// ShardReassignments counts retries that handed the shard to a
+	// different worker (a fresh process/goroutine, or a different socket
+	// endpoint).
+	ShardReassignments *Counter // surveyor_dist_shard_reassignments_total
+	// DeadlinesExpired counts shard attempts reclaimed from hung workers
+	// by the per-shard deadline.
+	DeadlinesExpired *Counter // surveyor_dist_shard_deadlines_expired_total
+	// DuplicateResults counts late shard results discarded because an
+	// earlier attempt already committed — the exactly-once shard commit.
+	DuplicateResults *Counter // surveyor_dist_duplicate_results_total
+	// Heartbeats counts worker liveness frames received over the socket
+	// transport.
+	Heartbeats *Counter // surveyor_dist_heartbeats_total
 	// WireBytesEncoded and WireBytesDecoded count wire-codec traffic:
 	// job frames written to workers, result and telemetry frames read
 	// back.
@@ -58,6 +75,16 @@ func (o *RunObs) Dist() *DistObs {
 			"shards lost to worker crashes or protocol errors"),
 		TelemetryFrames: r.Counter("surveyor_dist_telemetry_frames_total",
 			"worker telemetry frames received by the coordinator"),
+		ShardRetries: r.Counter("surveyor_dist_shard_retries_total",
+			"shard attempts launched beyond the first (failed or expired workers replaced)"),
+		ShardReassignments: r.Counter("surveyor_dist_shard_reassignments_total",
+			"shard retries handed to a different worker"),
+		DeadlinesExpired: r.Counter("surveyor_dist_shard_deadlines_expired_total",
+			"shard attempts reclaimed from hung workers by the per-shard deadline"),
+		DuplicateResults: r.Counter("surveyor_dist_duplicate_results_total",
+			"late shard results discarded after an earlier attempt committed"),
+		Heartbeats: r.Counter("surveyor_dist_heartbeats_total",
+			"worker liveness frames received over the socket transport"),
 		WireBytesEncoded: r.Counter("surveyor_wire_bytes_encoded_total",
 			"wire-codec bytes encoded (job frames to workers)"),
 		WireBytesDecoded: r.Counter("surveyor_wire_bytes_decoded_total",

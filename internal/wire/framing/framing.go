@@ -198,28 +198,49 @@ func checksum(body []byte) []byte {
 // multi-gigabyte length costs a bounded allocation before the truncated
 // read fails.
 func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
+	_, body, n, err = readFrame(r, magic)
+	return body, n, err
+}
+
+// ReadFrameAny reads one frame of any type and returns its magic
+// alongside the body — the demultiplexing primitive for streams that
+// interleave frame types (a socket worker's heartbeat frames between its
+// result frames). Validation is identical to ReadFrame except that any
+// 4-byte magic is accepted.
+func ReadFrameAny(r io.Reader) (magic string, body []byte, n int64, err error) {
+	return readFrame(r, "")
+}
+
+// readFrame is the shared implementation: want == "" accepts any magic.
+// A magic mismatch fails before the length is trusted, so a desynced
+// stream is reported as ErrBadMagic rather than a garbage length.
+func readFrame(r io.Reader, want string) (magic string, body []byte, n int64, err error) {
 	var hdr [5]byte
 	m, err := io.ReadFull(r, hdr[:])
 	n = int64(m)
 	if err != nil {
 		if errors.Is(err, io.EOF) && m == 0 {
-			return nil, 0, io.EOF //lint:allow errflow documented clean-EOF contract: callers iterate frames by matching io.EOF
+			// Bare io.EOF is the documented clean end-of-stream: callers
+			// iterate frames by matching it. (errflow binds to the exported
+			// wrappers, which pass it through untouched.)
+			return "", nil, 0, io.EOF
 		}
-		return nil, n, fmt.Errorf("wire: read frame header: %w", err)
+		return "", nil, n, fmt.Errorf("wire: read frame header: %w", err)
 	}
-	if string(hdr[:4]) != magic {
-		return nil, n, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, hdr[:4], magic)
+	magic = string(hdr[:4])
+	if want != "" && magic != want {
+		return magic, nil, n, fmt.Errorf("%w: got %q, want %q", ErrBadMagic, hdr[:4], want)
 	}
 	if hdr[4] != Version {
-		return nil, n, fmt.Errorf("wire: unsupported frame version %d (want %d)", hdr[4], Version)
+		return magic, nil, n, fmt.Errorf("wire: unsupported frame version %d (want %d)", hdr[4], Version)
 	}
 	length, m2, err := readUvarint(r)
 	n += int64(m2)
 	if err != nil {
-		return nil, n, fmt.Errorf("wire: read frame length: %w", err)
+		return magic, nil, n, fmt.Errorf("wire: read frame length: %w", err)
 	}
 	if length > MaxFrameBytes {
-		return nil, n, fmt.Errorf("wire: frame length %d exceeds limit %d", length, MaxFrameBytes)
+		return magic, nil, n, fmt.Errorf("wire: frame length %d exceeds limit %d", length, MaxFrameBytes)
 	}
 	body = make([]byte, 0, min(length, initialAlloc))
 	for uint64(len(body)) < length {
@@ -229,21 +250,21 @@ func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
 		m, err := io.ReadFull(r, body[start:])
 		n += int64(m)
 		if err != nil {
-			return nil, n, fmt.Errorf("wire: read frame body: %w", err)
+			return magic, nil, n, fmt.Errorf("wire: read frame body: %w", err)
 		}
 	}
 	var sum [8]byte
 	m, err = io.ReadFull(r, sum[:])
 	n += int64(m)
 	if err != nil {
-		return nil, n, fmt.Errorf("wire: read frame checksum: %w", err)
+		return magic, nil, n, fmt.Errorf("wire: read frame checksum: %w", err)
 	}
 	h := fnv.New64a()
 	h.Write(body)
 	if binary.LittleEndian.Uint64(sum[:]) != h.Sum64() {
-		return nil, n, ErrChecksum
+		return magic, nil, n, ErrChecksum
 	}
-	return body, n, nil
+	return magic, body, n, nil
 }
 
 // readUvarint reads one varint from r byte by byte, counting consumed

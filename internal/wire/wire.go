@@ -94,6 +94,14 @@ func ReadFrame(r io.Reader, magic string) (body []byte, n int64, err error) {
 	return framing.ReadFrame(r, magic)
 }
 
+// ReadFrameAny reads one frame of any type and returns its magic
+// alongside the body — the demultiplexing primitive for streams that
+// interleave frame types (heartbeats between protocol frames on a socket
+// connection).
+func ReadFrameAny(r io.Reader) (magic string, body []byte, n int64, err error) {
+	return framing.ReadFrameAny(r)
+}
+
 // --- evidence store codec --------------------------------------------------
 
 // AppendStore appends the body encoding of the store's snapshot: entry

@@ -9,6 +9,8 @@ package surveyor
 import (
 	"context"
 	"io"
+	"net"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/dist"
@@ -28,31 +30,61 @@ type DistributedOptions struct {
 	// protocol over in-memory pipes): the right default when the corpus
 	// fits one machine and the win is CPU parallelism.
 	Command []string
+	// WorkerAttempt, when non-nil alongside Command, appends per-launch
+	// arguments telling a worker process which (shard, attempt) it
+	// serves. cmd/surveyor uses it to thread -dist-attempt through.
+	WorkerAttempt func(shard, attempt int) []string
+	// Connect lists socket worker endpoints ("host:port") running
+	// ServeSocketWorker (`surveyor -dist-listen`). Non-empty selects the
+	// TCP transport and takes precedence over Command: shards are dialed
+	// out instead of forked out, with reconnect-and-backoff across the
+	// endpoints.
+	Connect []string
+	// Retries is the total attempt budget per shard (first launch
+	// included). Zero or one means no retry — the historical behavior.
+	Retries int
+	// RetryBackoff is the base delay before a shard's first retry,
+	// doubled per further retry with seeded jitter. Zero means 50ms.
+	RetryBackoff time.Duration
+	// ShardDeadline bounds one shard attempt's wall time; a worker past
+	// it is presumed hung and the shard reassigned. Zero disables the
+	// deadline.
+	ShardDeadline time.Duration
+	// Seed derives the backoff jitter (retry and reconnect alike), so a
+	// rerun replays the same retry schedule. cmd/surveyor passes its run
+	// seed.
+	Seed uint64
 	// Stderr receives the worker processes' stderr (nil discards it).
 	Stderr io.Writer
 }
 
-// ShardFailure reports one corpus shard lost to a worker failure. The
-// mined result excludes exactly that shard's documents.
+// ShardFailure reports one corpus shard lost to a worker failure after
+// its retry budget was exhausted. The mined result excludes exactly that
+// shard's documents.
 type ShardFailure struct {
 	// Shard is the failed shard's index in [0, Workers).
 	Shard int
 	// Docs is the number of documents the shard covered.
 	Docs int
+	// Attempts is the number of workers burned on the shard.
+	Attempts int
 	// Err is the underlying worker failure.
 	Err error
 }
 
 // MineDistributed mines docs across opts.Workers workers, each extracting
 // evidence from one contiguous corpus shard, and models the merged
-// evidence once. On a healthy run the result is bit-identical to
-// MineContext over the same documents with the same Config.
+// evidence once. On a healthy run — and, with a retry budget, under any
+// transient fault pattern the budget absorbs — the result is
+// bit-identical to MineContext over the same documents with the same
+// Config.
 //
-// Failed workers degrade the run instead of aborting it: each lost shard
-// is reported as a ShardFailure and the result is exactly what MineContext
-// would have produced over the corpus minus those shards' documents. The
-// returned error is non-nil only on cancellation (alongside the partial
-// result, as a *PartialError) or when every shard failed.
+// Workers that stay failed past their retry budget degrade the run
+// instead of aborting it: each lost shard is reported as a ShardFailure
+// and the result is exactly what MineContext would have produced over the
+// corpus minus those shards' documents. The returned error is non-nil
+// only on cancellation (alongside the partial result, as a *PartialError)
+// or when every shard failed.
 func (s *System) MineDistributed(ctx context.Context, docs []Document, opts DistributedOptions, cfg Config) (*Result, []ShardFailure, error) {
 	s.registerPending()
 	internalDocs := make([]corpus.Document, len(docs))
@@ -61,13 +93,21 @@ func (s *System) MineDistributed(ctx context.Context, docs []Document, opts Dist
 	}
 	pcfg := s.pipelineConfig(cfg)
 	var transport dist.Transport
-	if len(opts.Command) > 0 {
-		transport = &dist.ProcTransport{
-			Path:   opts.Command[0],
-			Args:   opts.Command[1:],
-			Stderr: opts.Stderr,
+	switch {
+	case len(opts.Connect) > 0:
+		transport = &dist.SocketTransport{
+			Addrs: opts.Connect,
+			Seed:  opts.Seed,
+			Obs:   pcfg.Obs,
 		}
-	} else {
+	case len(opts.Command) > 0:
+		transport = &dist.ProcTransport{
+			Path:      opts.Command[0],
+			Args:      opts.Command[1:],
+			ExtraArgs: opts.WorkerAttempt,
+			Stderr:    opts.Stderr,
+		}
+	default:
 		lt := &dist.LocalTransport{Base: s.kb, Lex: s.lex, Pipeline: pcfg}
 		if pcfg.Obs != nil {
 			// Mirror the multi-process reality in-process: each worker runs
@@ -81,11 +121,17 @@ func (s *System) MineDistributed(ctx context.Context, docs []Document, opts Dist
 		Shards:    opts.Workers,
 		Transport: transport,
 		Pipeline:  pcfg,
+		Retry: dist.RetryPolicy{
+			MaxAttempts:   opts.Retries,
+			BaseBackoff:   opts.RetryBackoff,
+			ShardDeadline: opts.ShardDeadline,
+			Seed:          opts.Seed,
+		},
 	})
 	res := &Result{sys: s, res: pres}
 	var failures []ShardFailure
 	for _, se := range shardErrs {
-		failures = append(failures, ShardFailure{Shard: se.Shard, Docs: se.Docs, Err: se.Err})
+		failures = append(failures, ShardFailure{Shard: se.Shard, Docs: se.Docs, Attempts: se.Attempts, Err: se.Err})
 	}
 	if err != nil && ctx.Err() != nil {
 		return res, failures, &PartialError{Result: res, Documents: pres.Documents, Err: err}
@@ -101,4 +147,27 @@ func (s *System) MineDistributed(ctx context.Context, docs []Document, opts Dist
 func (s *System) ServeWorker(ctx context.Context, r io.Reader, w io.Writer, cfg Config) error {
 	s.registerPending()
 	return dist.RunWorker(ctx, r, w, s.kb, s.lex, s.pipelineConfig(cfg))
+}
+
+// SocketWorkerOptions configures ServeSocketWorker.
+type SocketWorkerOptions struct {
+	// Heartbeat is the liveness emission interval while mining. Zero
+	// means 1s.
+	Heartbeat time.Duration
+	// ErrLog receives per-connection serve errors (nil discards them).
+	ErrLog io.Writer
+}
+
+// ServeSocketWorker runs a standalone socket worker server on ln until
+// ctx is cancelled: each accepted connection carries one shard attempt
+// of the worker protocol, with heartbeat frames interleaved while mining
+// so the coordinator can tell a slow shard from a dead one. cmd/surveyor's
+// -dist-listen mode calls this; coordinators reach it via
+// DistributedOptions.Connect.
+func (s *System) ServeSocketWorker(ctx context.Context, ln net.Listener, cfg Config, opts SocketWorkerOptions) error {
+	s.registerPending()
+	return dist.ServeSocket(ctx, ln, s.kb, s.lex, s.pipelineConfig(cfg), dist.SocketServerConfig{
+		Heartbeat: opts.Heartbeat,
+		ErrLog:    opts.ErrLog,
+	})
 }
